@@ -1,0 +1,72 @@
+"""The ACR core itself: matcher accuracy and throughput, with the
+Hamming-tolerance ablation called out in DESIGN.md (D3)."""
+
+import pytest
+
+from repro.acr import (FingerprintMatcher, capture_state)
+from repro.media import PlayState
+from repro.testbed import media_library, reference_library
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return reference_library("uk", 0)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return media_library("uk", 0)
+
+
+@pytest.fixture(scope="module")
+def probe_captures(library):
+    captures = []
+    for item in library.shows[:12]:
+        for position in (11.0, 63.0, 131.0, 299.0):
+            captures.append((item.content_id,
+                             capture_state(PlayState(item, position))))
+    return captures
+
+
+def test_match_throughput(benchmark, reference, probe_captures):
+    matcher = FingerprintMatcher(reference)
+
+    def match_all():
+        hits = 0
+        for content_id, capture in probe_captures:
+            match = matcher.match_capture(capture)
+            if match is not None and match.content_id == content_id:
+                hits += 1
+        return hits
+
+    hits = benchmark(match_all)
+    accuracy = hits / len(probe_captures)
+    print(f"\nmatcher accuracy over {len(probe_captures)} probes: "
+          f"{accuracy:.0%} ({len(reference)} reference samples)")
+    assert accuracy > 0.9
+
+
+@pytest.mark.parametrize("tolerance", [0, 1, 3, 6])
+def test_tolerance_ablation(benchmark, reference, probe_captures,
+                            tolerance):
+    """D3 ablation: accuracy/cost as the Hamming radius varies."""
+    matcher = FingerprintMatcher(reference, hamming_tolerance=tolerance)
+
+    def match_all():
+        return sum(
+            1 for content_id, capture in probe_captures
+            if (match := matcher.match_capture(capture)) is not None
+            and match.content_id == content_id)
+
+    hits = benchmark(match_all)
+    print(f"\ntolerance={tolerance}: accuracy "
+          f"{hits / len(probe_captures):.0%}")
+    if tolerance >= 3:
+        assert hits / len(probe_captures) > 0.9
+
+
+def test_index_build(benchmark, reference):
+    """Cost of (re)building the LSH band index."""
+    matcher = FingerprintMatcher(reference)
+    benchmark(matcher.reindex)
+    assert len(reference) > 10_000

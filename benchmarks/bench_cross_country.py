@@ -1,0 +1,48 @@
+"""§4.3: UK-vs-US differences — distinct domain names, FAST divergence."""
+
+from conftest import once
+
+from repro.analysis import CountryComparison, acr_volume_total
+from repro.experiments import cache
+from repro.reporting import render_table
+from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+                           Vendor)
+
+
+def run_comparison():
+    domain_rows = []
+    fast_rows = []
+    for vendor in Vendor:
+        uk = cache.pipeline_for(ExperimentSpec(
+            vendor, Country.UK, Scenario.LINEAR, Phase.LIN_OIN))
+        us = cache.pipeline_for(ExperimentSpec(
+            vendor, Country.US, Scenario.LINEAR, Phase.LIN_OIN))
+        comparison = CountryComparison(uk, us)
+        domain_rows.append([vendor.value,
+                            ", ".join(comparison.uk_only),
+                            ", ".join(comparison.us_only)])
+        for country in Country:
+            fast = acr_volume_total(cache.pipeline_for(ExperimentSpec(
+                vendor, country, Scenario.FAST, Phase.LIN_OIN)))
+            linear = acr_volume_total(cache.pipeline_for(ExperimentSpec(
+                vendor, country, Scenario.LINEAR, Phase.LIN_OIN)))
+            fast_rows.append([vendor.value, country.value,
+                              f"{fast:.1f}", f"{linear:.1f}",
+                              f"{fast / linear:.2f}"])
+    return domain_rows, fast_rows
+
+
+def test_cross_country(benchmark, uk_opted_in_cells, us_opted_in_cells):
+    domain_rows, fast_rows = once(benchmark, run_comparison)
+    print("\n" + render_table(
+        ["vendor", "UK-only ACR domains", "US-only ACR domains"],
+        domain_rows, title="§4.3 domain-name differences"))
+    print("\n" + render_table(
+        ["vendor", "country", "FAST KB", "Linear KB", "FAST/Linear"],
+        fast_rows, title="§4.3 FAST divergence"))
+    for vendor_row in domain_rows:
+        assert vendor_row[1] and vendor_row[2]  # both sides differ
+    ratios = {(r[0], r[1]): float(r[4]) for r in fast_rows}
+    for vendor in Vendor:
+        assert ratios[(vendor.value, "uk")] < 0.3
+        assert ratios[(vendor.value, "us")] > 0.7

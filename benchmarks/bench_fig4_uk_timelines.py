@@ -1,0 +1,34 @@
+"""Figure 4: 10 minutes of ACR traffic per scenario, UK, LIn-OIn.
+
+Regenerates both panels (a: LG, b: Samsung) as packets-per-millisecond
+timelines and asserts the paper's shape: Linear and HDMI dominate, peaks
+in restricted scenarios are several-fold smaller.
+"""
+
+from conftest import once
+
+from repro.experiments import figure4
+from repro.experiments.fig_timelines import SCENARIO_LABELS
+from repro.reporting import plot_timeline
+from repro.testbed import Scenario
+
+
+def test_figure4_uk_timelines(benchmark, uk_opted_in_cells):
+    panels = once(benchmark, figure4)
+    for panel in panels:
+        print(f"\nFigure 4 ({panel.vendor.value}, UK, LIn-OIn) — "
+              f"packets/ms over 10 min:")
+        for scenario in Scenario:
+            print(plot_timeline(panel.timelines[scenario], width=72,
+                                label=SCENARIO_LABELS[scenario]))
+        # Shape: Linear and HDMI spike hardest.
+        active_peak = min(panel.peak(Scenario.LINEAR),
+                          panel.peak(Scenario.HDMI))
+        restricted_peak = max(
+            panel.peak(s) for s in (Scenario.IDLE, Scenario.OTT))
+        assert active_peak > restricted_peak
+    lg, samsung = panels
+    ratio = lg.peak_reduction(Scenario.LINEAR, Scenario.OTT)
+    print(f"\nLG peak reduction Linear vs OTT: {ratio:.1f}x "
+          f"(paper: up to 12x)")
+    assert ratio >= 3.0

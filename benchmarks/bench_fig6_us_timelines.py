@@ -1,0 +1,29 @@
+"""Figure 6: 10 minutes of ACR traffic per scenario, US, LIn-OIn.
+
+Same panels as Figure 4 for the US; the headline divergence is FAST,
+which spikes like Linear in the US.
+"""
+
+from conftest import once
+
+from repro.experiments import figure6
+from repro.experiments.fig_timelines import SCENARIO_LABELS
+from repro.reporting import plot_timeline
+from repro.testbed import Scenario
+
+
+def test_figure6_us_timelines(benchmark, us_opted_in_cells):
+    panels = once(benchmark, figure6)
+    for panel in panels:
+        print(f"\nFigure 6 ({panel.vendor.value}, US, LIn-OIn) — "
+              f"packets/ms over 10 min:")
+        for scenario in Scenario:
+            print(plot_timeline(panel.timelines[scenario], width=72,
+                                label=SCENARIO_LABELS[scenario]))
+        # US shape: FAST joins Linear and HDMI as a heavy scenario.
+        fast = panel.timelines[Scenario.FAST].total_packets
+        linear = panel.timelines[Scenario.LINEAR].total_packets
+        idle = panel.timelines[Scenario.IDLE].total_packets
+        print(f"  FAST/Linear packets: {fast}/{linear}; Idle: {idle}")
+        assert fast > 0.6 * linear
+        assert fast > 2 * idle

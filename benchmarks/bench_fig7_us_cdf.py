@@ -1,0 +1,35 @@
+"""Figure 7: CDF of bytes transmitted to ACR domains, US, opted-in phases."""
+
+from conftest import once
+
+from repro.experiments import figure7
+from repro.reporting import plot_cdf, render_table
+from repro.testbed import Phase, Scenario, Vendor
+
+
+def test_figure7_us_cdf(benchmark, us_opted_in_cells):
+    figure = once(benchmark, figure7)
+    rows = []
+    for vendor in Vendor:
+        for scenario in Scenario:
+            lin = figure.total_kb(vendor, scenario, Phase.LIN_OIN)
+            lout = figure.total_kb(vendor, scenario, Phase.LOUT_OIN)
+            rows.append([vendor.value, scenario.value,
+                         f"{lin:.1f}", f"{lout:.1f}"])
+    print("\n" + render_table(
+        ["vendor", "scenario", "LIn-OIn KB sent", "LOut-OIn KB sent"],
+        rows, title="Figure 7 (US): transmitted bytes per curve"))
+    print("\n" + plot_cdf(
+        figure.curve(Vendor.LG, Scenario.FAST, Phase.LIN_OIN),
+        label="LG / FAST / LIn-OIn (US: FAST is tracked like Linear)"))
+
+    # US shape: FAST transmissions rival Linear for both vendors.
+    for vendor in Vendor:
+        fast = figure.total_kb(vendor, Scenario.FAST, Phase.LIN_OIN)
+        linear = figure.total_kb(vendor, Scenario.LINEAR, Phase.LIN_OIN)
+        assert fast > 0.6 * linear
+    # Login status immaterial in the US too.
+    for vendor in Vendor:
+        lin = figure.total_kb(vendor, Scenario.LINEAR, Phase.LIN_OIN)
+        lout = figure.total_kb(vendor, Scenario.LINEAR, Phase.LOUT_OIN)
+        assert abs(lin - lout) / max(lin, lout) < 0.3

@@ -1,0 +1,55 @@
+"""§4.1/§4.3 geolocation: where the ACR servers physically are.
+
+Regenerates the full workflow — MaxMind + IP2Location, traceroute + RIPE
+IPmap arbitration on disagreement, DPF list check — and asserts the
+paper's locations.
+"""
+
+from conftest import once
+
+from repro.experiments import run_geo_experiment
+from repro.reporting import render_table
+from repro.testbed import Country
+
+
+def test_geolocation_uk(benchmark, uk_opted_in_cells):
+    experiment = once(benchmark, run_geo_experiment, Country.UK)
+    rows = []
+    for domain in experiment.domains:
+        finding = experiment.findings[domain]
+        rows.append([
+            domain,
+            finding.maxmind_city.name if finding.maxmind_city else "-",
+            finding.ip2location_city.name
+            if finding.ip2location_city else "-",
+            "yes" if finding.ipmap_used else "no",
+            experiment.city_of(domain),
+            "yes" if experiment.dpf_ok[domain] else "NO",
+        ])
+    print("\n" + render_table(
+        ["domain", "MaxMind", "IP2Location", "IPmap used", "final",
+         "DPF"], rows, title="UK geolocation audit"))
+
+    assert all(experiment.city_of(d) == "Amsterdam"
+               for d in experiment.domains if "alphonso" in d)
+    assert experiment.city_of("acr-eu-prd.samsungcloud.tv") == "London"
+    assert experiment.city_of("log-ingestion-eu.samsungacr.com") == \
+        "London"
+    assert experiment.city_of("acr0.samsungcloudsolution.com") == \
+        "Amsterdam"
+    # The cross-border finding and its arbitration path.
+    log_config = experiment.findings["log-config.samsungacr.com"]
+    assert not log_config.databases_agree
+    assert log_config.ipmap_used
+    assert experiment.city_of("log-config.samsungacr.com") == "New York"
+    assert all(experiment.dpf_ok.values())
+
+
+def test_geolocation_us(benchmark, us_opted_in_cells):
+    experiment = once(benchmark, run_geo_experiment, Country.US)
+    rows = [[d, experiment.city_of(d), experiment.country_of(d)]
+            for d in experiment.domains]
+    print("\n" + render_table(["domain", "city", "country"], rows,
+                              title="US geolocation audit"))
+    assert all(experiment.country_of(d) == "US"
+               for d in experiment.domains)

@@ -1,0 +1,51 @@
+"""§4.2: the privacy-controls differential (opt-out works; login doesn't
+matter).
+"""
+
+from conftest import once
+
+from repro.analysis import PhaseComparison, no_new_acr_domains
+from repro.experiments import cache
+from repro.reporting import render_table
+from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+                           Vendor)
+
+
+def run_differentials():
+    rows = []
+    verdicts = []
+    for vendor in Vendor:
+        for country in Country:
+            opted_in = cache.pipeline_for(ExperimentSpec(
+                vendor, country, Scenario.LINEAR, Phase.LIN_OIN))
+            logged_out = cache.pipeline_for(ExperimentSpec(
+                vendor, country, Scenario.LINEAR, Phase.LOUT_OIN))
+            opted_out = cache.pipeline_for(ExperimentSpec(
+                vendor, country, Scenario.LINEAR, Phase.LIN_OOUT))
+            login = PhaseComparison("LIn-OIn", opted_in,
+                                    "LOut-OIn", logged_out)
+            optout = PhaseComparison("LIn-OIn", opted_in,
+                                     "LIn-OOut", opted_out)
+            rows.append([
+                vendor.value, country.value,
+                "yes" if login.same_domain_set else "NO",
+                "yes" if login.volumes_similar() else "NO",
+                "yes" if optout.b_is_silent else "NO",
+                "yes" if no_new_acr_domains(opted_in, opted_out)
+                else "NO",
+            ])
+            verdicts.append(login.same_domain_set
+                            and login.volumes_similar()
+                            and optout.b_is_silent)
+    return rows, verdicts
+
+
+def test_privacy_controls(benchmark, uk_opted_in_cells,
+                          us_opted_in_cells, optout_cells):
+    rows, verdicts = once(benchmark, run_differentials)
+    print("\n" + render_table(
+        ["vendor", "country", "login: same domains",
+         "login: similar volumes", "opt-out: silent",
+         "opt-out: no new domains"], rows,
+        title="§4.2 privacy-control differentials"))
+    assert all(verdicts)

@@ -1,0 +1,29 @@
+"""Table 1: the opt-out options on both TVs.
+
+Regenerates the option lists from the settings model and verifies the
+opt-out semantics (ACR disabled via viewing-information consent).
+"""
+
+from repro.reporting import render_table
+from repro.tv import PrivacySettings
+
+
+def render_table1() -> str:
+    blocks = []
+    for vendor in ("lg", "samsung"):
+        settings = PrivacySettings(vendor)
+        settings.opt_out_all()
+        rows = [[label, "enabled" if value else "disabled"]
+                for __, label, value in settings.describe()]
+        blocks.append(render_table(
+            ["Opt-Out Option", "state"], rows,
+            title=f"{vendor.upper()} (after full opt-out)"))
+        assert not settings.acr_enabled
+    return "\n\n".join(blocks)
+
+
+def test_table1_optout(benchmark):
+    output = benchmark(render_table1)
+    print("\n" + output)
+    assert "Viewing information agreement" in output
+    assert "I consent to viewing information services" in output

@@ -1,0 +1,86 @@
+"""Tables 2-5: KB exchanged with ACR domains per scenario.
+
+One bench per table; each regenerates the table from captures and prints
+paper-vs-measured for every cell.  Shape assertions: every non-dash paper
+cell reproduced within 2x, and the big structural facts (who dominates
+where, which cells are dashes) hold exactly.
+"""
+
+import pytest
+from conftest import once
+
+from repro.experiments import comparison_rows, table2, table3, table4, table5
+from repro.experiments.tables_volumes import SCENARIO_NAMES
+from repro.reporting import render_table
+from repro.testbed import Country, Phase
+
+
+def _check_within_2x(table, country, phase, tolerant=()):
+    rows = comparison_rows(table, country, phase)
+    mismatches = []
+    for domain, scenario, paper, measured in rows:
+        if paper == "-" or measured == "-":
+            continue
+        ratio = float(measured) / float(paper)
+        if not 0.5 <= ratio <= 2.0 and (domain, scenario) not in tolerant:
+            mismatches.append((domain, scenario, paper, measured))
+    return rows, mismatches
+
+
+def _print_table(name, table, rows):
+    print(f"\n{name} (measured):")
+    print(render_table(["Domain"] + SCENARIO_NAMES, table.rows()))
+    print(f"\n{name} paper-vs-measured:")
+    print(render_table(["Domain", "Scenario", "Paper KB", "Measured KB"],
+                       rows))
+
+
+def test_table2_uk_lin_oin(benchmark, uk_opted_in_cells):
+    table = once(benchmark, table2)
+    rows, mismatches = _check_within_2x(table, Country.UK, Phase.LIN_OIN)
+    _print_table("Table 2 (UK, LIn-OIn)", table, rows)
+    assert not mismatches, mismatches
+    # Structural facts.
+    assert table.kilobytes("eu-acrX.alphonso.tv", "Antenna") > \
+        10 * table.kilobytes("eu-acrX.alphonso.tv", "Idle")
+    idle_cell = table.cell("acr-eu-prd.samsungcloud.tv", "Idle")
+    assert idle_cell is None or not idle_cell.present
+
+
+def test_table3_uk_lout_oin(benchmark, uk_opted_in_cells):
+    table = once(benchmark, table3)
+    # acr0/Screen Cast: paper Table 2 reports 11.7 KB, Table 3 reports
+    # 24.3 KB for the same always-on keep-alive — the paper's own phases
+    # disagree 2x; our model matches the Table 2 value.
+    rows, mismatches = _check_within_2x(
+        table, Country.UK, Phase.LOUT_OIN,
+        tolerant={("acr0.samsungcloudsolution.com", "Screen Cast")})
+    _print_table("Table 3 (UK, LOut-OIn)", table, rows)
+    assert not mismatches, mismatches
+    # Logged-out volumes track the logged-in ones (S6): spot-check LG.
+    assert table.kilobytes("eu-acrX.alphonso.tv", "Antenna") == \
+        pytest.approx(4800, rel=0.25)
+
+
+def test_table4_us_lin_oin(benchmark, us_opted_in_cells):
+    table = once(benchmark, table4)
+    rows, mismatches = _check_within_2x(table, Country.US, Phase.LIN_OIN)
+    _print_table("Table 4 (US, LIn-OIn)", table, rows)
+    assert not mismatches, mismatches
+    # US structural facts: FAST ~ Antenna; Samsung silent cells.
+    assert table.kilobytes("tkacrX.alphonso.tv", "FAST") == \
+        pytest.approx(table.kilobytes("tkacrX.alphonso.tv", "Antenna"),
+                      rel=0.25)
+    for scenario in ("Idle", "OTT", "Screen Cast"):
+        cell = table.cell("acr-us-prd.samsungcloud.tv", scenario)
+        assert cell is None or not cell.present
+
+
+def test_table5_us_lout_oin(benchmark, us_opted_in_cells):
+    table = once(benchmark, table5)
+    rows, mismatches = _check_within_2x(table, Country.US,
+                                        Phase.LOUT_OIN)
+    _print_table("Table 5 (US, LOut-OIn)", table, rows)
+    assert not mismatches, mismatches
+    assert table.kilobytes("tkacrX.alphonso.tv", "HDMI") > \
+        10 * table.kilobytes("tkacrX.alphonso.tv", "OTT")

@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+The campaign cache is warmed once per session; benches then measure the
+regeneration (analysis) step over cached captures and print the
+reproduced table/figure next to the paper's values.
+"""
+
+import pytest
+
+from repro.experiments import cache
+from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+                           Vendor)
+
+
+def warm(vendor, country, scenarios, phases):
+    """Ensure a set of cells is simulated and decoded."""
+    for scenario in scenarios:
+        for phase in phases:
+            cache.pipeline_for(
+                ExperimentSpec(vendor, country, scenario, phase))
+
+
+@pytest.fixture(scope="session")
+def uk_opted_in_cells():
+    for vendor in Vendor:
+        warm(vendor, Country.UK, list(Scenario),
+             [Phase.LIN_OIN, Phase.LOUT_OIN])
+    return cache
+
+
+@pytest.fixture(scope="session")
+def us_opted_in_cells():
+    for vendor in Vendor:
+        warm(vendor, Country.US, list(Scenario),
+             [Phase.LIN_OIN, Phase.LOUT_OIN])
+    return cache
+
+
+@pytest.fixture(scope="session")
+def optout_cells():
+    for vendor in Vendor:
+        for country in Country:
+            warm(vendor, country, [Scenario.LINEAR],
+                 [Phase.LIN_OOUT, Phase.LOUT_OOUT])
+    return cache
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a regeneration exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

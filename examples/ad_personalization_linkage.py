@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Does ACR viewing actually drive the ads you see? (paper future work)
+
+Two identical TVs watch the same show for half an hour; one is opted in
+to ACR + personalized ads, the other fully opted out.  Both then request
+the same home-screen ad slots from the operator's ad server.
+
+Usage::
+
+    python examples/ad_personalization_linkage.py
+"""
+
+from repro.ads import run_multi_genre_study
+from repro.reporting import render_table
+from repro.testbed import fresh_backend, media_library
+
+
+def main() -> None:
+    library = media_library("uk", 0)
+    backend = fresh_backend("lg", "uk")
+    items = [library.shows[0], library.shows[1], library.shows[2]]
+    print(f"Running the two-device linkage protocol over "
+          f"{len(items)} shows...\n")
+    results = run_multi_genre_study(backend, items, seed=2)
+
+    rows = []
+    for genre, result in sorted(results.items()):
+        rows.append([
+            genre,
+            result.expected_segment,
+            f"{result.optin_rate:.0%}",
+            f"{result.optin_aligned_rate:.0%}",
+            f"{result.optout_rate:.0%}",
+            f"{result.revenue_lift:.1f}x",
+            "YES" if result.linkage_established else "no",
+        ])
+    print(render_table(
+        ["watched genre", "expected segment", "opt-in targeted",
+         "aligned with genre", "opt-out targeted", "revenue lift",
+         "linkage"], rows))
+
+    print("\nReading:")
+    print("  - the opted-in device's ad slots are mostly filled with")
+    print("    creatives targeting exactly the segment its viewing built;")
+    print("  - the opted-out device receives house ads only (0% targeted),")
+    print("    because no fingerprints ever reached the operator (§4.2);")
+    print("  - targeted slots clear at a multiple of house-ad prices —")
+    print("    the economic engine behind ACR.")
+
+
+if __name__ == "__main__":
+    main()

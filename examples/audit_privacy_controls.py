@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Do the privacy controls actually work? (paper §4.2)
+
+Reproduces the four-phase comparison for one vendor/scenario cell:
+
+* LIn-OIn vs LOut-OIn — does login status change ACR traffic?  (No.)
+* opted-in vs opted-out — does the Table 1 opt-out stop ACR?   (Yes.)
+
+Usage::
+
+    python examples/audit_privacy_controls.py [samsung|lg]
+"""
+
+import sys
+
+from repro.analysis import (AuditPipeline, PhaseComparison,
+                            no_new_acr_domains)
+from repro.reporting import render_table
+from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+                           Vendor, run_experiment)
+from repro.tv import PrivacySettings
+
+
+def main() -> None:
+    vendor = Vendor.SAMSUNG if (len(sys.argv) > 1
+                                and sys.argv[1] == "samsung") \
+        else Vendor.LG
+    print(f"Auditing privacy controls on {vendor.value} (UK, Linear)\n")
+
+    settings = PrivacySettings(vendor.value)
+    settings.opt_out_all()
+    rows = [[key, label, "on" if value else "off"]
+            for key, label, value in settings.describe()]
+    print(render_table(["key", "Table 1 option", "state after opt-out"],
+                       rows))
+
+    pipelines = {}
+    for phase in Phase:
+        spec = ExperimentSpec(vendor, Country.UK, Scenario.LINEAR, phase)
+        print(f"\nRunning {spec.label}...")
+        pipelines[phase] = AuditPipeline.from_result(
+            run_experiment(spec, seed=7))
+
+    print("\n--- Login status (LIn-OIn vs LOut-OIn) ---")
+    login = PhaseComparison("LIn-OIn", pipelines[Phase.LIN_OIN],
+                            "LOut-OIn", pipelines[Phase.LOUT_OIN])
+    print(f"same ACR domain set: {login.same_domain_set}")
+    print(f"volumes similar:     {login.volumes_similar()}")
+    for domain in sorted(login.domains_a):
+        ratio = login.volume_ratio(domain)
+        print(f"  {domain}: LIn={login.volumes_a.get(domain, 0):.1f} KB, "
+              f"LOut={login.volumes_b.get(domain, 0):.1f} KB "
+              f"(ratio {ratio:.2f})")
+
+    print("\n--- Opt-out (LIn-OIn vs LIn-OOut) ---")
+    optout = PhaseComparison("LIn-OIn", pipelines[Phase.LIN_OIN],
+                             "LIn-OOut", pipelines[Phase.LIN_OOUT])
+    print(f"ACR domains silent after opt-out: {optout.b_is_silent}")
+    print(f"no new ACR domains appeared:      "
+          f"{no_new_acr_domains(pipelines[Phase.LIN_OIN], pipelines[Phase.LIN_OOUT])}")
+
+    verdict = (login.same_domain_set and login.volumes_similar()
+               and optout.b_is_silent)
+    print(f"\nConclusion: login status has no material impact and the "
+          f"opt-out mechanism works: {verdict}")
+    print("(matches the paper's §4.2 findings)")
+
+
+if __name__ == "__main__":
+    main()

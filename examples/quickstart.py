@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: audit one smart TV for ACR tracking.
+
+Runs a single one-hour experiment (LG, UK, watching linear TV via antenna,
+logged in and opted in), captures its traffic at the access point, and
+runs the black-box audit pipeline over the resulting pcap — the core loop
+of the paper.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis import (AcrDomainAuditor, AuditPipeline,
+                            analyze_periodicity)
+from repro.reporting import render_table
+from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+                           Vendor, run_experiment, validate)
+
+
+def main() -> None:
+    spec = ExperimentSpec(Vendor.LG, Country.UK, Scenario.LINEAR,
+                          Phase.LIN_OIN)
+    print(f"Running experiment {spec.label} (one simulated hour)...")
+    result = run_experiment(spec, seed=7)
+    report = validate(result)
+    print(f"  capture: {result.packet_count} packets, "
+          f"{len(result.pcap_bytes) / 1e6:.1f} MB pcap, "
+          f"validation={'OK' if report.ok else report.failures}")
+
+    # The audit sees only the pcap — exactly the paper's vantage.
+    pipeline = AuditPipeline.from_result(result)
+    print(f"\nContacted domains: {', '.join(pipeline.contacted_domains)}")
+
+    auditor = AcrDomainAuditor()
+    findings = auditor.audit(pipeline)
+    rows = []
+    for finding in findings:
+        cadence = finding.periodicity
+        rows.append([
+            finding.domain,
+            f"{pipeline.kilobytes_for(finding.domain):.1f}",
+            f"{cadence.period_s:.1f}s" if cadence.period_s else "-",
+            "yes" if finding.blocklist_listed else "no",
+            "yes" if finding.validated else "no",
+        ])
+    print()
+    print(render_table(
+        ["ACR domain", "KB/hour", "cadence", "blocklisted", "validated"],
+        rows, title="ACR candidates ('acr' substring heuristic)"))
+
+    # What the operator's backend learned (white-box bonus of the
+    # reproduction: the paper could only hypothesise about this side).
+    backend = result.backend
+    sessions = backend.sessions_for(result.device_id)
+    print(f"\nOperator backend recognised "
+          f"{backend.recognition_rate:.0%} of uploaded batches; "
+          f"{len(sessions)} viewing sessions reconstructed:")
+    for session in sessions[:5]:
+        print(f"  {session.content_id}: {session.duration_s:.0f}s")
+    domain = pipeline.acr_candidate_domains()[0]
+    cadence = analyze_periodicity(domain, pipeline.packets_for(domain))
+    print(f"\nFingerprint upload cadence: every {cadence.period_s:.1f}s "
+          f"(paper: LG batches every ~15s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Server-side reference fingerprint database.
+
+The ACR operator pre-fingerprints its content library ("movies, ads, live
+feed", Figure 1); the matcher then recognises screen captures against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..media.content import ContentItem, PlayState
+from .fingerprint import capture_state
+
+DEFAULT_SAMPLE_INTERVAL_S = 4
+MAX_REFERENCE_SECONDS = 2700  # fingerprint the first N seconds per item
+
+
+class ReferenceEntry:
+    """One reference sample: which content, where, and its hashes."""
+
+    __slots__ = ("content_id", "position_s", "video_hash", "audio_hashes")
+
+    def __init__(self, content_id: str, position_s: int, video_hash: int,
+                 audio_hashes: List[int]) -> None:
+        self.content_id = content_id
+        self.position_s = position_s
+        self.video_hash = video_hash
+        self.audio_hashes = audio_hashes
+
+    def __repr__(self) -> str:
+        return (f"ReferenceEntry({self.content_id}@{self.position_s}s, "
+                f"{self.video_hash:#018x})")
+
+
+class ReferenceLibrary:
+    """All reference samples for an operator's content catalog."""
+
+    def __init__(self, sample_interval_s: int = DEFAULT_SAMPLE_INTERVAL_S,
+                 max_seconds: int = MAX_REFERENCE_SECONDS) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError("sample interval must be positive")
+        self.sample_interval_s = sample_interval_s
+        self.max_seconds = max_seconds
+        self.entries: List[ReferenceEntry] = []
+        self._content_ids: Dict[str, ContentItem] = {}
+
+    def ingest(self, item: ContentItem,
+               max_seconds: Optional[int] = None) -> int:
+        """Fingerprint one item; returns the number of samples added.
+
+        ``max_seconds`` overrides the library-wide depth cap for this item
+        (operators fingerprint broadcast content in full but may only keep
+        a prefix of a long-tail movie catalog).
+        """
+        if item.content_id in self._content_ids:
+            return 0
+        self._content_ids[item.content_id] = item
+        added = 0
+        cap = self.max_seconds if max_seconds is None else max_seconds
+        horizon = min(item.duration_s, cap)
+        for position in range(0, horizon, self.sample_interval_s):
+            capture = capture_state(PlayState(item, position))
+            self.entries.append(ReferenceEntry(
+                item.content_id, position, capture.video_hash,
+                capture.audio_hashes))
+            added += 1
+        return added
+
+    def ingest_all(self, items: Iterable[ContentItem],
+                   max_seconds: Optional[int] = None) -> int:
+        return sum(self.ingest(item, max_seconds) for item in items)
+
+    def item(self, content_id: str) -> ContentItem:
+        try:
+            return self._content_ids[content_id]
+        except KeyError:
+            raise KeyError(f"content not in library: {content_id!r}") \
+                from None
+
+    def knows(self, content_id: str) -> bool:
+        return content_id in self._content_ids
+
+    @property
+    def content_count(self) -> int:
+        return len(self._content_ids)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (f"ReferenceLibrary({self.content_count} items, "
+                f"{len(self.entries)} samples)")

@@ -1,0 +1,141 @@
+"""Fingerprint matching: LSH-banded inverted index with Hamming tolerance.
+
+The 64-bit video hash is split into four 16-bit bands; a query retrieves
+candidates sharing at least one exact band (any hash within Hamming
+distance 3 is guaranteed to share a band by pigeonhole), then candidates
+are verified with the true Hamming distance and audio-landmark overlap.
+Batch queries vote across captures, so a 15-60 second batch resolves to a
+(content, offset) even when single frames are ambiguous.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from .fingerprint import Capture, hamming_distance
+from .library import ReferenceLibrary
+
+BANDS = 4
+BAND_BITS = 16
+DEFAULT_HAMMING_TOLERANCE = BANDS - 1  # pigeonhole guarantee
+MIN_VOTES_FRACTION = 0.34
+
+
+def bands_of(video_hash: int) -> Tuple[int, ...]:
+    """The four 16-bit bands of a 64-bit hash, most significant first."""
+    mask = (1 << BAND_BITS) - 1
+    return tuple((video_hash >> (BAND_BITS * (BANDS - 1 - i))) & mask
+                 for i in range(BANDS))
+
+
+class Match:
+    """One verified candidate for a single capture."""
+
+    __slots__ = ("content_id", "position_s", "video_distance",
+                 "audio_overlap")
+
+    def __init__(self, content_id: str, position_s: int,
+                 video_distance: int, audio_overlap: int) -> None:
+        self.content_id = content_id
+        self.position_s = position_s
+        self.video_distance = video_distance
+        self.audio_overlap = audio_overlap
+
+    def __repr__(self) -> str:
+        return (f"Match({self.content_id}@{self.position_s}s, "
+                f"dv={self.video_distance}, da={self.audio_overlap})")
+
+
+class BatchVerdict:
+    """The matcher's answer for a whole batch."""
+
+    __slots__ = ("content_id", "votes", "total", "confidence", "matches")
+
+    def __init__(self, content_id: Optional[str], votes: int, total: int,
+                 matches: List[Match]) -> None:
+        self.content_id = content_id
+        self.votes = votes
+        self.total = total
+        self.confidence = votes / total if total else 0.0
+        self.matches = matches
+
+    @property
+    def recognised(self) -> bool:
+        return self.content_id is not None
+
+    def __repr__(self) -> str:
+        label = self.content_id or "<no match>"
+        return (f"BatchVerdict({label}, {self.votes}/{self.total} votes, "
+                f"confidence={self.confidence:.2f})")
+
+
+class FingerprintMatcher:
+    """The server-side matcher over a reference library."""
+
+    def __init__(self, library: ReferenceLibrary,
+                 hamming_tolerance: int = DEFAULT_HAMMING_TOLERANCE) -> None:
+        if hamming_tolerance < 0:
+            raise ValueError("negative tolerance")
+        self.library = library
+        self.hamming_tolerance = hamming_tolerance
+        # band index -> band value -> list of entry indexes
+        self._band_index: List[Dict[int, List[int]]] = [
+            defaultdict(list) for __ in range(BANDS)]
+        self._indexed_entries = 0
+        self.reindex()
+
+    def reindex(self) -> None:
+        """(Re)build the band index over the current library entries."""
+        for band in self._band_index:
+            band.clear()
+        for position, entry in enumerate(self.library.entries):
+            for band_no, value in enumerate(bands_of(entry.video_hash)):
+                self._band_index[band_no][value].append(position)
+        self._indexed_entries = len(self.library.entries)
+
+    def _candidates(self, video_hash: int) -> List[int]:
+        seen = set()
+        out: List[int] = []
+        for band_no, value in enumerate(bands_of(video_hash)):
+            for entry_index in self._band_index[band_no].get(value, ()):
+                if entry_index not in seen:
+                    seen.add(entry_index)
+                    out.append(entry_index)
+        return out
+
+    def match_capture(self, capture: Capture) -> Optional[Match]:
+        """Best verified match for one capture, or None."""
+        if self._indexed_entries != len(self.library.entries):
+            self.reindex()
+        best: Optional[Match] = None
+        query_audio = set(capture.audio_hashes)
+        for entry_index in self._candidates(capture.video_hash):
+            entry = self.library.entries[entry_index]
+            distance = hamming_distance(capture.video_hash,
+                                        entry.video_hash)
+            if distance > self.hamming_tolerance:
+                continue
+            overlap = len(query_audio.intersection(entry.audio_hashes))
+            if best is None or (distance, -overlap) < (
+                    best.video_distance, -best.audio_overlap):
+                best = Match(entry.content_id, entry.position_s,
+                             distance, overlap)
+        return best
+
+    def match_batch(self, captures: List[Capture]) -> BatchVerdict:
+        """Vote across a batch; a content wins with a qualified majority."""
+        if not captures:
+            return BatchVerdict(None, 0, 0, [])
+        matches = [self.match_capture(c) for c in captures]
+        found = [m for m in matches if m is not None]
+        tally: Dict[str, int] = defaultdict(int)
+        for match in found:
+            tally[match.content_id] += 1
+        if not tally:
+            return BatchVerdict(None, 0, len(captures), [])
+        winner, votes = max(tally.items(), key=lambda kv: kv[1])
+        if votes < max(1, int(MIN_VOTES_FRACTION * len(captures))):
+            return BatchVerdict(None, votes, len(captures), found)
+        return BatchVerdict(winner, votes, len(captures),
+                            [m for m in found if m.content_id == winner])

@@ -1,0 +1,229 @@
+"""Vendor capture policy: cadence, payload sizing and per-source gating.
+
+Everything the paper *infers* about client behaviour from traffic shapes is
+made explicit policy here:
+
+* LG captures frames every 10 ms and ships a batched fingerprint every
+  15 s (LG documentation via §4.1); Samsung captures every 500 ms and
+  ships every 60 s, with larger flushes roughly every 5 minutes.
+* Fingerprinting is **gated by input source and country**: Linear and HDMI
+  are always fingerprinted; the manufacturer's FAST platform is
+  fingerprinted in the US but not the UK (§4.3); third-party OTT apps are
+  never fingerprinted (Netflix-style restrictions, §4.1); home screen and
+  casting fall back to beacon-level traffic.
+* When opted out there is no ACR traffic at all (§4.2) — that gate lives
+  in the client, not here.
+
+The byte constants are calibrated so a one-hour experiment lands near the
+paper's Tables 2-5 (see EXPERIMENTS.md for paper-vs-measured).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Tuple
+
+from ..media.sources import SourceType
+from ..sim.clock import milliseconds, seconds
+
+
+class CaptureDecision(Enum):
+    """What the ACR client does for a batch from a given source."""
+
+    FULL = "full"        # fingerprint and transmit the batch
+    BEACON = "beacon"    # no fingerprints; light status beacon only
+    SILENT = "silent"    # no traffic on the fingerprint channel
+
+
+class VendorAcrProfile:
+    """Per-vendor, per-country ACR client parameters."""
+
+    __slots__ = (
+        "vendor", "country", "capture_interval_ns", "batch_interval_ns",
+        "bytes_per_capture", "batch_response_bytes", "peak_every_batches",
+        "peak_extra_bytes", "beacon_request_bytes", "beacon_response_bytes",
+        "beacon_peak_every", "beacon_peak_scale", "cast_request_bytes",
+        "cast_response_bytes", "hdmi_dedup_fraction",
+        "backoff_when_unrecognised", "match_samples_per_batch",
+    )
+
+    def __init__(self, vendor: str, country: str,
+                 capture_interval_ns: int, batch_interval_ns: int,
+                 bytes_per_capture: int, batch_response_bytes: int,
+                 peak_every_batches: int, peak_extra_bytes: int,
+                 beacon_request_bytes: int, beacon_response_bytes: int,
+                 beacon_peak_every: int, beacon_peak_scale: float,
+                 cast_request_bytes: int, cast_response_bytes: int,
+                 hdmi_dedup_fraction: float,
+                 backoff_when_unrecognised: bool,
+                 match_samples_per_batch: int = 8) -> None:
+        if not 0.0 <= hdmi_dedup_fraction < 1.0:
+            raise ValueError("dedup fraction must be in [0, 1)")
+        self.vendor = vendor
+        self.country = country
+        self.capture_interval_ns = capture_interval_ns
+        self.batch_interval_ns = batch_interval_ns
+        self.bytes_per_capture = bytes_per_capture
+        self.batch_response_bytes = batch_response_bytes
+        self.peak_every_batches = peak_every_batches
+        self.peak_extra_bytes = peak_extra_bytes
+        self.beacon_request_bytes = beacon_request_bytes
+        self.beacon_response_bytes = beacon_response_bytes
+        self.beacon_peak_every = beacon_peak_every
+        self.beacon_peak_scale = beacon_peak_scale
+        self.cast_request_bytes = cast_request_bytes
+        self.cast_response_bytes = cast_response_bytes
+        self.hdmi_dedup_fraction = hdmi_dedup_fraction
+        self.backoff_when_unrecognised = backoff_when_unrecognised
+        self.match_samples_per_batch = match_samples_per_batch
+
+    @property
+    def captures_per_batch(self) -> int:
+        return self.batch_interval_ns // self.capture_interval_ns
+
+    def batch_payload_bytes(self, batch_number: int,
+                            source: SourceType = SourceType.TUNER) -> int:
+        """Request payload for full-fingerprint batch number N (1-based).
+
+        HDMI batches shrink by the duplicate-suppression fraction: static
+        desktop frames dedup before upload, which is why the paper's HDMI
+        volumes sit slightly below Antenna for LG.
+        """
+        captures = self.captures_per_batch
+        if source is SourceType.HDMI and self.hdmi_dedup_fraction:
+            captures = int(captures * (1.0 - self.hdmi_dedup_fraction))
+        payload = 64 + captures * self.bytes_per_capture
+        if self.peak_every_batches and \
+                batch_number % self.peak_every_batches == 0:
+            payload += self.peak_extra_bytes
+        return payload
+
+    def beacon_payload_bytes(self, slot_number: int,
+                             source: SourceType) -> Tuple[int, int]:
+        """(request, response) beacon sizes for slot number N (1-based).
+
+        A (0, 0) result means "bare TCP keep-alive" — Samsung's restricted
+        scenarios show traffic far too small to be TLS exchanges.
+        Casting carries its own richer status beacon when the vendor
+        differentiates it (Samsung does; LG treats cast like any beacon).
+        """
+        if source is SourceType.CAST and \
+                (self.cast_request_bytes, self.cast_response_bytes) != (
+                    self.beacon_request_bytes, self.beacon_response_bytes):
+            return self.cast_request_bytes, self.cast_response_bytes
+        request = self.beacon_request_bytes
+        response = self.beacon_response_bytes
+        if request and self.beacon_peak_every and \
+                slot_number % self.beacon_peak_every == 0:
+            request = int(request * self.beacon_peak_scale)
+            response = int(response * self.beacon_peak_scale)
+        return request, response
+
+    def __repr__(self) -> str:
+        return (f"VendorAcrProfile({self.vendor}/{self.country}, "
+                f"capture={self.capture_interval_ns / 1e6:.0f}ms, "
+                f"batch={self.batch_interval_ns / 1e9:.0f}s)")
+
+
+# LG webOS: 10 ms captures, 15 s batches; compact per-capture records;
+# duplicate-frame suppression trims HDMI batches (desktop content is
+# largely static).
+_LG_COMMON = dict(
+    capture_interval_ns=milliseconds(10),
+    batch_interval_ns=seconds(15),
+    bytes_per_capture=12,
+    batch_response_bytes=360,
+    peak_every_batches=4,          # minute-cadence peaks (Fig. 4a)
+    peak_extra_bytes=2600,
+    beacon_peak_every=4,           # "peaks every minute"
+    beacon_peak_scale=2.4,
+    hdmi_dedup_fraction=0.10,
+    backoff_when_unrecognised=False,
+)
+
+# Samsung Tizen: 500 ms captures, 60 s batches; richer per-capture records,
+# five-minute flush peaks.  Restricted scenarios keep the fingerprint
+# session alive with bare TCP keep-alives (near-zero bytes), except
+# casting, which sends a small status beacon.
+_SAMSUNG_COMMON = dict(
+    capture_interval_ns=milliseconds(500),
+    batch_interval_ns=seconds(60),
+    batch_response_bytes=420,
+    peak_every_batches=5,          # "peaks ... every five minutes" (Fig. 4b)
+    peak_extra_bytes=2200,
+    beacon_peak_every=2,           # alternating minute peaks (§4.1)
+    beacon_peak_scale=1.8,
+    beacon_request_bytes=0,        # bare TCP keep-alive
+    beacon_response_bytes=0,
+    cast_request_bytes=110,
+    cast_response_bytes=90,
+    hdmi_dedup_fraction=0.0,
+)
+
+PROFILES: Dict[Tuple[str, str], VendorAcrProfile] = {
+    ("lg", "uk"): VendorAcrProfile(
+        "lg", "uk",
+        beacon_request_bytes=370, beacon_response_bytes=240,
+        cast_request_bytes=370, cast_response_bytes=240,
+        **_LG_COMMON),
+    ("lg", "us"): VendorAcrProfile(
+        "lg", "us",
+        beacon_request_bytes=260, beacon_response_bytes=170,
+        cast_request_bytes=260, cast_response_bytes=170,
+        **_LG_COMMON),
+    ("samsung", "uk"): VendorAcrProfile(
+        "samsung", "uk",
+        bytes_per_capture=52,
+        backoff_when_unrecognised=True,
+        **_SAMSUNG_COMMON),
+    ("samsung", "us"): VendorAcrProfile(
+        "samsung", "us",
+        bytes_per_capture=17,
+        backoff_when_unrecognised=False,  # US HDMI volumes ~= Antenna
+        **_SAMSUNG_COMMON),
+}
+
+
+def profile_for(vendor: str, country: str) -> VendorAcrProfile:
+    """The calibrated profile for a vendor/country pair."""
+    try:
+        return PROFILES[(vendor, country)]
+    except KeyError:
+        raise KeyError(
+            f"no ACR profile for {vendor!r}/{country!r}") from None
+
+
+# Decision table: (vendor, country, source) -> CaptureDecision.  Entries
+# not listed fall back to the per-source defaults below.
+_DECISIONS: Dict[Tuple[str, str, SourceType], CaptureDecision] = {
+    # The manufacturer FAST platform: restricted in the UK, active in the
+    # US (§4.3: "the FAST scenario deviates from the UK findings").
+    ("lg", "uk", SourceType.FAST): CaptureDecision.BEACON,
+    ("lg", "us", SourceType.FAST): CaptureDecision.FULL,
+    ("samsung", "uk", SourceType.FAST): CaptureDecision.BEACON,
+    ("samsung", "us", SourceType.FAST): CaptureDecision.FULL,
+    # Samsung goes fully silent on the fingerprint channel in the US for
+    # idle/OTT/cast (Table 4 shows no acr-us-prd traffic there).
+    ("samsung", "us", SourceType.OTT): CaptureDecision.SILENT,
+    ("samsung", "us", SourceType.CAST): CaptureDecision.SILENT,
+    ("samsung", "uk", SourceType.HOME): CaptureDecision.SILENT,
+    ("samsung", "us", SourceType.HOME): CaptureDecision.SILENT,
+}
+
+_DEFAULTS: Dict[SourceType, CaptureDecision] = {
+    SourceType.TUNER: CaptureDecision.FULL,
+    SourceType.HDMI: CaptureDecision.FULL,
+    SourceType.FAST: CaptureDecision.BEACON,
+    SourceType.OTT: CaptureDecision.BEACON,
+    SourceType.CAST: CaptureDecision.BEACON,
+    SourceType.HOME: CaptureDecision.BEACON,
+}
+
+
+def capture_decision(vendor: str, country: str,
+                     source: SourceType) -> CaptureDecision:
+    """What the ACR client does for this source in this country."""
+    specific = _DECISIONS.get((vendor, country, source))
+    if specific is not None:
+        return specific
+    return _DEFAULTS[source]

@@ -1,0 +1,75 @@
+"""Audience segmentation from recognised viewing history.
+
+Figure 1's last stage: the ACR operator profiles users "into audience
+segments (Travel, Shopping, Sports...), which are then used to target
+personalized ads."  Segments are derived from genre watch time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from .library import ReferenceLibrary
+from .server import AcrBackend
+
+# Segment label per dominant genre.
+SEGMENT_LABELS: Dict[str, str] = {
+    "news": "News Junkie",
+    "sports": "Sports Enthusiast",
+    "drama": "Binge Watcher",
+    "travel": "Travel Intender",
+    "shopping": "Home Shopper",
+    "cooking": "Foodie",
+    "documentary": "Lifelong Learner",
+    "kids": "Family Household",
+    "music": "Music Lover",
+    "comedy": "Comedy Fan",
+}
+
+MIN_SEGMENT_SECONDS = 300.0  # five recognised minutes joins a segment
+
+
+class AudienceProfile:
+    """Segments assigned to one device."""
+
+    __slots__ = ("device_id", "genre_seconds", "segments")
+
+    def __init__(self, device_id: str, genre_seconds: Dict[str, float],
+                 segments: List[str]) -> None:
+        self.device_id = device_id
+        self.genre_seconds = genre_seconds
+        self.segments = segments
+
+    def __repr__(self) -> str:
+        return f"AudienceProfile({self.device_id}, {self.segments})"
+
+
+class SegmentProfiler:
+    """Builds audience profiles from a backend's viewing sessions."""
+
+    def __init__(self, backend: AcrBackend,
+                 library: ReferenceLibrary) -> None:
+        self.backend = backend
+        self.library = library
+
+    def genre_watch_seconds(self, device_id: str) -> Dict[str, float]:
+        """Recognised seconds per genre for one device."""
+        totals: Dict[str, float] = defaultdict(float)
+        for session in self.backend.sessions_for(device_id):
+            if not self.library.knows(session.content_id):
+                continue
+            item = self.library.item(session.content_id)
+            totals[item.genre] += session.duration_s
+        return dict(totals)
+
+    def profile(self, device_id: str,
+                min_seconds: float = MIN_SEGMENT_SECONDS) -> AudienceProfile:
+        """Assign every segment whose genre crosses the threshold."""
+        genre_seconds = self.genre_watch_seconds(device_id)
+        segments = [SEGMENT_LABELS[genre]
+                    for genre, seconds in sorted(
+                        genre_seconds.items(),
+                        key=lambda kv: -kv[1])
+                    if seconds >= min_seconds and genre in SEGMENT_LABELS]
+        return AudienceProfile(device_id, genre_seconds, segments)

@@ -1,0 +1,21 @@
+"""Ad personalization substrate — the paper's second future-work item:
+"investigate the link between ACR tracking and ad personalization".
+
+An inventory of segment-targeted creatives, an ad server that decisions on
+the operator's ACR-derived segments, and the two-device linkage study."""
+
+from .audit import LinkageResult, run_linkage_study, run_multi_genre_study
+from .inventory import AdCreative, AdInventory, HOUSE_SEGMENT
+from .server import AdImpression, AdServer, TARGETED_FILL_RATE
+
+__all__ = [
+    "AdCreative",
+    "AdImpression",
+    "AdInventory",
+    "AdServer",
+    "HOUSE_SEGMENT",
+    "LinkageResult",
+    "TARGETED_FILL_RATE",
+    "run_linkage_study",
+    "run_multi_genre_study",
+]

@@ -1,0 +1,128 @@
+"""The audit pipeline: from raw pcap bytes to per-domain traffic views.
+
+This is the reproduction of the paper's Analysis Scripts.  Everything here
+works from the capture alone — packets and the DNS answers inside them —
+never from simulator ground truth, preserving the black-box vantage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional
+
+from ..net.addresses import Ipv4Address
+from ..net.flow import FlowTable
+from ..net.packet import DecodedPacket, decode_all
+from ..net.pcap import load_bytes
+from .dns_map import DnsMap
+
+
+class AuditPipeline:
+    """Decoded capture + DNS map + per-domain packet index."""
+
+    def __init__(self, packets: List[DecodedPacket],
+                 tv_ip: Ipv4Address) -> None:
+        self.packets = packets
+        self.tv_ip = tv_ip
+        self.dns_map = DnsMap().observe_all(packets)
+        self.flows = FlowTable()
+        self.flows.add_all(packets)
+        self._by_domain: Dict[str, List[DecodedPacket]] = defaultdict(list)
+        self._index_by_domain()
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_pcap_bytes(cls, raw: bytes,
+                        tv_ip: Optional[Ipv4Address] = None
+                        ) -> "AuditPipeline":
+        packets = decode_all(load_bytes(raw))
+        if tv_ip is None:
+            tv_ip = infer_tv_ip(packets)
+        return cls(packets, tv_ip)
+
+    @classmethod
+    def from_result(cls, result) -> "AuditPipeline":
+        """From an ExperimentResult (reads only its pcap + TV IP)."""
+        return cls.from_pcap_bytes(result.pcap_bytes,
+                                   Ipv4Address.parse(result.tv_ip))
+
+    # -- indexing ----------------------------------------------------------------
+
+    def _remote_ip(self, packet: DecodedPacket) -> Optional[Ipv4Address]:
+        if packet.ip is None:
+            return None
+        if packet.ip.src == self.tv_ip:
+            return packet.ip.dst
+        if packet.ip.dst == self.tv_ip:
+            return packet.ip.src
+        return None
+
+    def _index_by_domain(self) -> None:
+        for packet in self.packets:
+            remote = self._remote_ip(packet)
+            if remote is None:
+                continue
+            if remote.is_private:
+                label = f"lan:{remote}"
+            else:
+                label = self.dns_map.label(remote)
+            self._by_domain[label].append(packet)
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def contacted_domains(self) -> List[str]:
+        """Every resolved Internet domain the TV exchanged traffic with."""
+        return sorted(name for name in self._by_domain
+                      if not name.startswith(("lan:", "unresolved:")))
+
+    def packets_for(self, domain: str) -> List[DecodedPacket]:
+        return list(self._by_domain.get(domain, ()))
+
+    def packets_for_all(self, domains: List[str]) -> List[DecodedPacket]:
+        out: List[DecodedPacket] = []
+        for domain in domains:
+            out.extend(self._by_domain.get(domain, ()))
+        out.sort(key=lambda p: p.timestamp)
+        return out
+
+    def bytes_for(self, domain: str) -> int:
+        """Total bytes sent + received to/from one domain."""
+        return sum(p.length for p in self._by_domain.get(domain, ()))
+
+    def kilobytes_for(self, domain: str) -> float:
+        return self.bytes_for(domain) / 1000.0
+
+    def bytes_sent_to(self, domain: str) -> int:
+        return sum(p.length for p in self._by_domain.get(domain, ())
+                   if p.ip is not None and p.ip.src == self.tv_ip)
+
+    def byte_totals(self) -> Dict[str, int]:
+        return {domain: self.bytes_for(domain)
+                for domain in self.contacted_domains}
+
+    # -- the heuristic's first stage ------------------------------------------------
+
+    def acr_candidate_domains(self) -> List[str]:
+        """Contacted domains whose *name* contains "acr" (§3.2)."""
+        return [domain for domain in self.contacted_domains
+                if "acr" in domain]
+
+    def __repr__(self) -> str:
+        return (f"AuditPipeline({len(self.packets)} packets, "
+                f"{len(self.contacted_domains)} domains)")
+
+
+def infer_tv_ip(packets: List[DecodedPacket]) -> Ipv4Address:
+    """The device under audit is the most talkative private address."""
+    counter: Counter = Counter()
+    for packet in packets:
+        if packet.ip is None:
+            continue
+        for address in (packet.ip.src, packet.ip.dst):
+            if address.is_private:
+                counter[address] += 1
+    if not counter:
+        raise ValueError("no private addresses in capture")
+    return counter.most_common(1)[0][0]

@@ -1,0 +1,160 @@
+"""Command-line interface.
+
+::
+
+    python -m repro.cli run --vendor lg --country uk --scenario linear \
+        --phase LIn-OIn --out capture.pcap
+    python -m repro.cli audit capture.pcap
+    python -m repro.cli scorecard
+    python -m repro.cli report > EXPERIMENTS.md
+    python -m repro.cli table 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import AcrDomainAuditor, AuditPipeline
+from .reporting import render_table
+from .testbed import (Country, ExperimentSpec, Phase, Scenario, Vendor,
+                      run_experiment, validate)
+
+_PHASES = {phase.value: phase for phase in Phase}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ACR smart-TV tracking reproduction (IMC 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="run one experiment cell")
+    run_cmd.add_argument("--vendor", choices=[v.value for v in Vendor],
+                         default="lg")
+    run_cmd.add_argument("--country", choices=[c.value for c in Country],
+                         default="uk")
+    run_cmd.add_argument("--scenario",
+                         choices=[s.value for s in Scenario],
+                         default="linear")
+    run_cmd.add_argument("--phase", choices=sorted(_PHASES),
+                         default="LIn-OIn")
+    run_cmd.add_argument("--seed", type=int, default=7)
+    run_cmd.add_argument("--minutes", type=int, default=60,
+                         help="experiment duration")
+    run_cmd.add_argument("--out", default=None,
+                         help="write the capture to this pcap path")
+
+    audit_cmd = sub.add_parser("audit",
+                               help="audit a pcap file for ACR traffic")
+    audit_cmd.add_argument("pcap", help="path to a capture file")
+
+    sub.add_parser("scorecard",
+                   help="verify all paper findings (S1-S12); slow")
+
+    sub.add_parser("report",
+                   help="print the EXPERIMENTS.md paper-vs-measured "
+                        "report; slow")
+
+    table_cmd = sub.add_parser("table",
+                               help="regenerate a paper table (2-5)")
+    table_cmd.add_argument("number", type=int, choices=[2, 3, 4, 5])
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from .sim.clock import minutes as minutes_ns
+    spec = ExperimentSpec(Vendor(args.vendor), Country(args.country),
+                          Scenario(args.scenario), _PHASES[args.phase],
+                          duration_ns=minutes_ns(args.minutes))
+    print(f"running {spec.label} ({args.minutes} simulated minutes, "
+          f"seed {args.seed})...")
+    result = run_experiment(spec, seed=args.seed)
+    report = validate(result)
+    print(f"captured {result.packet_count} packets "
+          f"({len(result.pcap_bytes) / 1e6:.1f} MB); "
+          f"validation: {'OK' if report.ok else report.failures}")
+    if args.out:
+        with open(args.out, "wb") as fileobj:
+            fileobj.write(result.pcap_bytes)
+        print(f"wrote {args.out}")
+    else:
+        _print_audit(AuditPipeline.from_result(result))
+    return 0
+
+
+def _print_audit(pipeline: AuditPipeline) -> None:
+    auditor = AcrDomainAuditor()
+    rows = []
+    for finding in auditor.audit(pipeline):
+        cadence = finding.periodicity
+        rows.append([
+            finding.domain,
+            f"{pipeline.kilobytes_for(finding.domain):.1f}",
+            f"{cadence.period_s:.1f}s" if cadence.period_s else "-",
+            "yes" if finding.blocklist_listed else "no",
+            "yes" if finding.validated else "no",
+        ])
+    if rows:
+        print(render_table(
+            ["ACR domain", "KB", "cadence", "blocklisted", "validated"],
+            rows))
+    else:
+        print("no ACR candidate domains in capture")
+
+
+def _cmd_audit(args) -> int:
+    with open(args.pcap, "rb") as fileobj:
+        raw = fileobj.read()
+    pipeline = AuditPipeline.from_pcap_bytes(raw)
+    print(f"{len(pipeline.packets)} packets; contacted domains: "
+          f"{', '.join(pipeline.contacted_domains)}")
+    _print_audit(pipeline)
+    return 0
+
+
+def _cmd_scorecard(args) -> int:
+    from .experiments import run_all_checks
+    failures = 0
+    for check in run_all_checks():
+        state = "PASS" if check.passed else "FAIL"
+        print(f"[{state}] {check.finding_id}: {check.description}")
+        print(f"       {check.evidence}")
+        failures += not check.passed
+    return 1 if failures else 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments.report import generate
+    print(generate())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from .experiments import tables_volumes as tv_mod
+    from .experiments.tables_volumes import SCENARIO_NAMES
+    builder = {2: tv_mod.table2, 3: tv_mod.table3,
+               4: tv_mod.table4, 5: tv_mod.table5}[args.number]
+    table = builder()
+    print(render_table(["Domain"] + SCENARIO_NAMES, table.rows(),
+                       title=f"Table {args.number}"))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "audit": _cmd_audit,
+    "scorecard": _cmd_scorecard,
+    "report": _cmd_report,
+    "table": _cmd_table,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

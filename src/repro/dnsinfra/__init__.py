@@ -1,0 +1,18 @@
+"""Simulated DNS infrastructure: vendor domain catalog, authoritative zone,
+recursive resolver, and the TV-side stub cache."""
+
+from .registry import (DomainRecord, DomainRegistry, ROTATION_PERIOD_NS,
+                       ROTATION_POOL_SIZE)
+from .resolver import RecursiveResolver, ResolveResult, StubCache
+from .zones import Zone
+
+__all__ = [
+    "DomainRecord",
+    "DomainRegistry",
+    "RecursiveResolver",
+    "ResolveResult",
+    "ROTATION_PERIOD_NS",
+    "ROTATION_POOL_SIZE",
+    "StubCache",
+    "Zone",
+]

@@ -1,0 +1,53 @@
+"""Shared campaign cache for the per-figure experiment drivers.
+
+Every table and figure draws from the same 6x4x2x2 matrix, so drivers and
+benchmarks share one :class:`~repro.testbed.campaign.CampaignRunner` and a
+memoized :class:`~repro.analysis.pipeline.AuditPipeline` per cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.pipeline import AuditPipeline
+from ..testbed.campaign import CampaignRunner
+from ..testbed.experiment import ExperimentSpec
+from ..testbed.runner import ExperimentResult
+
+DEFAULT_SEED = 7
+
+_campaign: Optional[CampaignRunner] = None
+_pipelines: Dict[str, AuditPipeline] = {}
+
+
+def campaign(seed: int = DEFAULT_SEED) -> CampaignRunner:
+    """The process-wide campaign runner (created on first use)."""
+    global _campaign
+    if _campaign is None or _campaign.seed != seed:
+        _campaign = CampaignRunner(seed=seed)
+        _pipelines.clear()
+    return _campaign
+
+
+def result_for(spec: ExperimentSpec,
+               seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Run (or recall) one cell."""
+    return campaign(seed).run(spec)
+
+
+def pipeline_for(spec: ExperimentSpec,
+                 seed: int = DEFAULT_SEED) -> AuditPipeline:
+    """The decoded audit pipeline for one cell, memoized."""
+    key = f"{spec.label}-s{seed}-d{spec.duration_ns}"
+    pipeline = _pipelines.get(key)
+    if pipeline is None:
+        pipeline = AuditPipeline.from_result(result_for(spec, seed))
+        _pipelines[key] = pipeline
+    return pipeline
+
+
+def reset() -> None:
+    """Drop all cached runs (tests use this for isolation)."""
+    global _campaign
+    _campaign = None
+    _pipelines.clear()

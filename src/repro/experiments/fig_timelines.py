@@ -1,0 +1,107 @@
+"""Figures 4, 6 and 8-11: per-scenario ACR traffic timelines.
+
+Each figure shows "10 minutes of ACR traffic in different scenarios" for
+one vendor in one country during one phase, in packets-per-millisecond
+format.  Figures 4/6 are the LIn-OIn views (UK/US); Figures 8-11 are the
+full phase-country grids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.pipeline import AuditPipeline
+from ..analysis.timeline import Timeline, packets_per_ms
+from ..sim.clock import minutes
+from ..testbed.experiment import (Country, ExperimentSpec, Phase, Scenario,
+                                  Vendor)
+from . import cache
+
+WINDOW_START = minutes(15)
+WINDOW_MINUTES = 10
+
+SCENARIO_LABELS = {
+    Scenario.IDLE: "Idle",
+    Scenario.LINEAR: "Antenna",
+    Scenario.FAST: "FAST",
+    Scenario.OTT: "OTT",
+    Scenario.HDMI: "HDMI",
+    Scenario.SCREEN_CAST: "Screen Cast",
+}
+
+
+class TimelineFigure:
+    """One (vendor, country, phase) panel: a timeline per scenario."""
+
+    def __init__(self, vendor: Vendor, country: Country, phase: Phase,
+                 timelines: Dict[Scenario, Timeline]) -> None:
+        self.vendor = vendor
+        self.country = country
+        self.phase = phase
+        self.timelines = timelines
+
+    def peak(self, scenario: Scenario) -> int:
+        return self.timelines[scenario].peak
+
+    def peak_reduction(self, active: Scenario,
+                       restricted: Scenario) -> float:
+        """How much smaller restricted-scenario spikes are (§4.1: "peaks
+        get reduced by up to 12x")."""
+        restricted_peak = self.peak(restricted)
+        if restricted_peak == 0:
+            return float("inf")
+        return self.peak(active) / restricted_peak
+
+    def __repr__(self) -> str:
+        return (f"TimelineFigure({self.vendor.value}/{self.country.value}"
+                f"/{self.phase.value}, {len(self.timelines)} scenarios)")
+
+
+def acr_timeline(pipeline: AuditPipeline) -> Timeline:
+    """The packets/ms series over the figure window for a capture's ACR
+    candidate domains."""
+    packets = pipeline.packets_for_all(pipeline.acr_candidate_domains())
+    start = WINDOW_START
+    end = start + minutes(WINDOW_MINUTES)
+    return packets_per_ms(packets, start, end)
+
+
+def build_figure(vendor: Vendor, country: Country,
+                 phase: Phase = Phase.LIN_OIN,
+                 seed: int = cache.DEFAULT_SEED) -> TimelineFigure:
+    """Build one figure panel (e.g. Figure 4a = LG/UK/LIn-OIn)."""
+    timelines: Dict[Scenario, Timeline] = {}
+    for scenario in Scenario:
+        spec = ExperimentSpec(vendor, country, scenario, phase)
+        timelines[scenario] = acr_timeline(cache.pipeline_for(spec, seed))
+    return TimelineFigure(vendor, country, phase, timelines)
+
+
+def figure4(seed: int = cache.DEFAULT_SEED) -> List[TimelineFigure]:
+    """Figure 4: (a) LG and (b) Samsung, UK, LIn-OIn."""
+    return [build_figure(Vendor.LG, Country.UK, Phase.LIN_OIN, seed),
+            build_figure(Vendor.SAMSUNG, Country.UK, Phase.LIN_OIN, seed)]
+
+
+def figure6(seed: int = cache.DEFAULT_SEED) -> List[TimelineFigure]:
+    """Figure 6: (a) LG and (b) Samsung, US, LIn-OIn."""
+    return [build_figure(Vendor.LG, Country.US, Phase.LIN_OIN, seed),
+            build_figure(Vendor.SAMSUNG, Country.US, Phase.LIN_OIN, seed)]
+
+
+def figures_8_to_11(seed: int = cache.DEFAULT_SEED
+                    ) -> Dict[str, List[TimelineFigure]]:
+    """The appendix grids: both vendors for each (country, opted-in phase).
+
+    Figure 8 = UK LIn-OIn, 9 = UK LOut-OIn, 10 = US LIn-OIn,
+    11 = US LOut-OIn.
+    """
+    grids: Dict[str, List[TimelineFigure]] = {}
+    for name, country, phase in (
+            ("figure8", Country.UK, Phase.LIN_OIN),
+            ("figure9", Country.UK, Phase.LOUT_OIN),
+            ("figure10", Country.US, Phase.LIN_OIN),
+            ("figure11", Country.US, Phase.LOUT_OIN)):
+        grids[name] = [build_figure(Vendor.LG, country, phase, seed),
+                       build_figure(Vendor.SAMSUNG, country, phase, seed)]
+    return grids

@@ -1,0 +1,136 @@
+"""Tables 2-5: kilobytes exchanged with ACR domains per scenario.
+
+Each table is one (country, phase) slice over both vendors' ACR domains
+and all six scenarios.  Paper reference values are included so benches can
+print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.volumes import VolumeTable, build_volume_table
+from ..testbed.experiment import (Country, ExperimentSpec, Phase, Scenario,
+                                  Vendor)
+from . import cache
+
+SCENARIO_ORDER = [Scenario.IDLE, Scenario.LINEAR, Scenario.FAST,
+                  Scenario.OTT, Scenario.HDMI, Scenario.SCREEN_CAST]
+SCENARIO_NAMES = ["Idle", "Antenna", "FAST", "OTT", "HDMI", "Screen Cast"]
+
+# Paper values (KB), None where the paper prints "-".
+PAPER_TABLE2: Dict[str, List[Optional[float]]] = {
+    "eu-acrX.alphonso.tv": [264.7, 4759.7, 262.8, 264.3, 4296.5, 266.2],
+    "acr-eu-prd.samsungcloud.tv": [None, 440.9, 8.5, 8.6, 204.8, 30.3],
+    "acr0.samsungcloudsolution.com": [None, None, 11.1, 11.3, 11.0, 11.7],
+    "log-config.samsungacr.com": [9.5, 10.8, 9.2, 8.9, 9.3, 10.0],
+    "log-ingestion-eu.samsungacr.com": [176.9, 298.4, 125.4, 161.6,
+                                        162.3, None],
+}
+
+PAPER_TABLE3: Dict[str, List[Optional[float]]] = {
+    "eu-acrX.alphonso.tv": [258.0, 4801.9, 255.5, 250.6, 4229.5, 272.8],
+    "acr-eu-prd.samsungcloud.tv": [8.6, 463.9, 8.6, 8.5, 184.0, 16.1],
+    "acr0.samsungcloudsolution.com": [11.1, 11.1, 11.0, 11.1, 11.0, 24.3],
+    "log-config.samsungacr.com": [9.2, 9.1, None, 9.1, 9.2, 10.4],
+    "log-ingestion-eu.samsungacr.com": [159.9, 232.3, None, 169.8, 170.6,
+                                        195.3],
+}
+
+PAPER_TABLE4: Dict[str, List[Optional[float]]] = {
+    "tkacrX.alphonso.tv": [215.3, 4583.2, 4948.3, 214.9, 4125.0, 240.4],
+    "acr-us-prd.samsungcloud.tv": [None, 184.4, 176.6, None, 148.5, None],
+    "log-config.samsungacr.com": [10.5, 10.5, None, 9.7, 19.7, 10.1],
+    "log-ingestion.samsungacr.com": [143.5, 253.2, 237.4, 156.1, 224.8,
+                                     172.1],
+}
+
+PAPER_TABLE5: Dict[str, List[Optional[float]]] = {
+    "tkacrX.alphonso.tv": [236.3, 4612.4, 4832.5, 191.3, 4633.5, 222.0],
+    "acr-us-prd.samsungcloud.tv": [None, 153.5, 166.1, None, 160.2, None],
+    "log-config.samsungacr.com": [9.6, 9.6, 9.6, 10.4, 10.4, 9.6],
+    "log-ingestion.samsungacr.com": [112.7, 216.3, 247.5, 187.5, 146.9,
+                                     157.9],
+}
+
+PAPER_TABLES = {
+    ("uk", Phase.LIN_OIN): PAPER_TABLE2,
+    ("uk", Phase.LOUT_OIN): PAPER_TABLE3,
+    ("us", Phase.LIN_OIN): PAPER_TABLE4,
+    ("us", Phase.LOUT_OIN): PAPER_TABLE5,
+}
+
+
+def build_table(country: Country, phase: Phase,
+                seed: int = cache.DEFAULT_SEED) -> VolumeTable:
+    """One appendix table: both vendors' ACR traffic, all scenarios."""
+    pipelines = {}
+    acr_domains = {}
+    for scenario, name in zip(SCENARIO_ORDER, SCENARIO_NAMES):
+        merged_packets_domains: List[str] = []
+        for vendor in Vendor:
+            spec = ExperimentSpec(vendor, country, scenario, phase)
+            pipeline = cache.pipeline_for(spec, seed)
+            merged_packets_domains.extend(pipeline.acr_candidate_domains())
+            # Keep the *vendor-specific* pipeline keyed by a compound name
+            # so both vendors' rows land in one table.
+            pipelines[f"{name}:{vendor.value}"] = pipeline
+            acr_domains[f"{name}:{vendor.value}"] = \
+                pipeline.acr_candidate_domains()
+    table = build_volume_table(pipelines, acr_domains)
+    return _merge_vendor_columns(table)
+
+
+def _merge_vendor_columns(table: VolumeTable) -> VolumeTable:
+    """Collapse "<scenario>:<vendor>" columns back to scenario columns
+    (each domain only has traffic under one vendor)."""
+    merged = VolumeTable(SCENARIO_NAMES)
+    for domain in table.domains:
+        for compound in table.scenarios:
+            cell = table.cell(domain, compound)
+            if cell is None or not cell.present:
+                continue
+            scenario = compound.split(":")[0]
+            existing = merged.cell(domain, scenario)
+            kilobytes = cell.kilobytes + (existing.kilobytes
+                                          if existing else 0.0)
+            packets = cell.packets + (existing.packets if existing else 0)
+            from ..analysis.volumes import VolumeCell
+            merged.add(VolumeCell(domain, scenario, kilobytes, packets))
+    return merged
+
+
+def table2(seed: int = cache.DEFAULT_SEED) -> VolumeTable:
+    return build_table(Country.UK, Phase.LIN_OIN, seed)
+
+
+def table3(seed: int = cache.DEFAULT_SEED) -> VolumeTable:
+    return build_table(Country.UK, Phase.LOUT_OIN, seed)
+
+
+def table4(seed: int = cache.DEFAULT_SEED) -> VolumeTable:
+    return build_table(Country.US, Phase.LIN_OIN, seed)
+
+
+def table5(seed: int = cache.DEFAULT_SEED) -> VolumeTable:
+    return build_table(Country.US, Phase.LOUT_OIN, seed)
+
+
+def paper_reference(country: Country,
+                    phase: Phase) -> Dict[str, List[Optional[float]]]:
+    return PAPER_TABLES[(country.value, phase)]
+
+
+def comparison_rows(table: VolumeTable, country: Country,
+                    phase: Phase) -> List[List[str]]:
+    """Paper-vs-measured rows for one table."""
+    reference = paper_reference(country, phase)
+    rows: List[List[str]] = []
+    for domain, paper_values in reference.items():
+        for scenario, paper_value in zip(SCENARIO_NAMES, paper_values):
+            cell = table.cell(domain, scenario)
+            measured = cell.render() if cell else "-"
+            paper = f"{paper_value:.1f}" if paper_value is not None \
+                else "-"
+            rows.append([domain, scenario, paper, measured])
+    return rows

@@ -1,0 +1,100 @@
+"""GeoIP databases in the style of MaxMind GeoLite and IP2Location.
+
+Commercial GeoIP databases are block-granular and imperfect; the paper
+explicitly works around "known limitations and inaccuracies of GeoIP
+databases" by arbitrating disagreements with RIPE IPmap.  We reproduce that
+situation *by construction*: both databases are built from the ground-truth
+IP plan, then each gets its own deliberate mislocations, so they disagree on
+specific vendor blocks and the arbitration path in the audit is actually
+exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..net.addresses import Ipv4Address, Ipv4Network
+from .ipspace import IpSpace
+from .locations import CITIES, City
+
+
+class GeoIpDatabase:
+    """Longest-prefix-match geolocation table."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._table: Dict[Ipv4Network, City] = {}
+        self.lookups = 0
+
+    def add_block(self, network: Ipv4Network, city: City) -> None:
+        self._table[network] = city
+
+    def lookup(self, address: Ipv4Address) -> Optional[City]:
+        """City for the longest matching prefix, or None if unmapped."""
+        self.lookups += 1
+        best: Tuple[int, Optional[City]] = (-1, None)
+        for network, city in self._table.items():
+            if address in network and network.prefix > best[0]:
+                best = (network.prefix, city)
+        return best[1]
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:
+        return f"GeoIpDatabase({self.name!r}, {len(self)} blocks)"
+
+
+# Deliberate errors per database: (provider, true_city_key) -> wrong city.
+# MaxMind mislocates Samsung's New York block (where log-config lives) to
+# Amsterdam; IP2Location mislocates Alphonso's Amsterdam block to Frankfurt.
+# Every audit of those endpoints therefore sees a DB disagreement and must
+# fall back to RIPE IPmap — the paper's exact workflow.
+MAXMIND_ERRORS: Dict[Tuple[str, str], str] = {
+    ("samsung", "new_york"): "amsterdam",
+}
+
+IP2LOCATION_ERRORS: Dict[Tuple[str, str], str] = {
+    ("alphonso", "amsterdam"): "frankfurt",
+    ("samsung", "ashburn"): "new_york",
+}
+
+# Blocks either vendor database simply does not cover (returns None).
+MAXMIND_GAPS = {("transit", "frankfurt")}
+IP2LOCATION_GAPS = {("transit", "new_york")}
+
+
+def _build(name: str, ipspace: IpSpace,
+           errors: Dict[Tuple[str, str], str],
+           gaps: set) -> GeoIpDatabase:
+    db = GeoIpDatabase(name)
+    seen = set()
+    for server in ipspace.all_servers():
+        key = (server.provider, _city_key(server.city))
+        if key in seen:
+            continue
+        seen.add(key)
+        if key in gaps:
+            continue
+        block = ipspace.block_for(server.provider, key[1])
+        city_key = errors.get(key, key[1])
+        db.add_block(block, CITIES[city_key])
+    return db
+
+
+def _city_key(city: City) -> str:
+    for key, value in CITIES.items():
+        if value == city:
+            return key
+    raise KeyError(f"city not in gazetteer: {city!r}")
+
+
+def build_maxmind(ipspace: IpSpace) -> GeoIpDatabase:
+    """A MaxMind-like database over the ground-truth plan."""
+    return _build("maxmind", ipspace, MAXMIND_ERRORS, MAXMIND_GAPS)
+
+
+def build_ip2location(ipspace: IpSpace) -> GeoIpDatabase:
+    """An IP2Location-like database over the ground-truth plan."""
+    return _build("ip2location", ipspace, IP2LOCATION_ERRORS,
+                  IP2LOCATION_GAPS)

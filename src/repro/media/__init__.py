@@ -1,0 +1,46 @@
+"""Content substrate: items, synthetic frames/audio, channel schedules, and
+the TV input sources corresponding to the paper's six scenarios."""
+
+from .content import (ContentItem, ContentKind, GENRES, LIBRARY_KINDS,
+                      PlayState, ad_break, make_content_id)
+from .frames import (AUDIO_RATE_HZ, AUDIO_SAMPLES, FRAME_HEIGHT, FRAME_WIDTH,
+                     frame_similarity, render_audio, render_frame,
+                     render_sequence)
+from .library import MediaLibrary, standard_library
+from .schedule import (AD_BREAK_EVERY_S, Channel, ScheduleSlot,
+                       build_channel, build_lineup)
+from .sources import (FastApp, HdmiInput, HomeScreen, InputSource, OttApp,
+                      ScreenCast, SourceType, Tuner)
+
+__all__ = [
+    "AD_BREAK_EVERY_S",
+    "AUDIO_RATE_HZ",
+    "AUDIO_SAMPLES",
+    "Channel",
+    "ContentItem",
+    "ContentKind",
+    "FRAME_HEIGHT",
+    "FRAME_WIDTH",
+    "FastApp",
+    "GENRES",
+    "HdmiInput",
+    "HomeScreen",
+    "InputSource",
+    "LIBRARY_KINDS",
+    "MediaLibrary",
+    "OttApp",
+    "PlayState",
+    "ScheduleSlot",
+    "ScreenCast",
+    "SourceType",
+    "Tuner",
+    "ad_break",
+    "build_channel",
+    "build_lineup",
+    "frame_similarity",
+    "make_content_id",
+    "render_audio",
+    "render_frame",
+    "render_sequence",
+    "standard_library",
+]

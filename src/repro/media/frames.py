@@ -1,0 +1,96 @@
+"""Synthetic frame and audio generation.
+
+Frames are small luma rasters generated deterministically from
+``(content.visual_seed, playback_second)``, built so that:
+
+* the same content at the same position always renders the same frame
+  (fingerprints must be reproducible end-to-end);
+* consecutive seconds are visually *similar* but not identical (scene
+  drift), exercising the matcher's Hamming tolerance;
+* different content items are visually distinct with overwhelming
+  probability.
+
+Audio is a short deterministic waveform per second, from which the audio
+fingerprinter extracts spectral landmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .content import ContentItem, PlayState
+
+FRAME_HEIGHT = 18
+FRAME_WIDTH = 32
+AUDIO_SAMPLES = 512
+AUDIO_RATE_HZ = 4000
+
+_SCENE_LENGTH_S = 8.0  # average seconds per "scene" of stable imagery
+
+
+def _rng_for(seed: int, scene: int) -> np.random.Generator:
+    return np.random.default_rng(np.uint64(seed) ^ np.uint64(scene * 2654435761 + 7))
+
+
+def render_frame(state: PlayState) -> np.ndarray:
+    """Render the luma frame for a play state as float32 in [0, 1].
+
+    A frame is a sum of a scene-stable random field plus a small
+    per-second drift field, so frames within a scene have close
+    fingerprints and scene cuts change the fingerprint sharply.
+    """
+    seed = state.item.visual_seed
+    second = int(state.position_s)
+    scene = int(state.position_s / _SCENE_LENGTH_S)
+    base = _rng_for(seed, scene).random((FRAME_HEIGHT, FRAME_WIDTH),
+                                        dtype=np.float32)
+    drift_rng = _rng_for(seed ^ 0x5DEECE66D, scene * 100000 + second)
+    drift = drift_rng.random((FRAME_HEIGHT, FRAME_WIDTH),
+                             dtype=np.float32)
+    frame = 0.96 * base + 0.04 * drift
+    return frame.astype(np.float32)
+
+
+def render_audio(state: PlayState) -> np.ndarray:
+    """One second of synthetic audio as float32 samples in [-1, 1].
+
+    The waveform is a mixture of a few content-and-scene-specific tones —
+    enough structure for spectral landmarks to be meaningful.
+    """
+    seed = state.item.visual_seed ^ 0xA5A5A5A5
+    second = int(state.position_s)
+    scene = int(state.position_s / _SCENE_LENGTH_S)
+    rng = _rng_for(seed, scene)
+    tones = rng.integers(60, AUDIO_RATE_HZ // 4, size=4)
+    amplitudes = rng.random(4) * 0.5 + 0.2
+    t = np.arange(AUDIO_SAMPLES, dtype=np.float32) / AUDIO_RATE_HZ
+    phase = (second % 16) * 0.37
+    signal = np.zeros(AUDIO_SAMPLES, dtype=np.float32)
+    for frequency, amplitude in zip(tones, amplitudes):
+        signal += amplitude * np.sin(
+            2.0 * np.pi * float(frequency) * t + phase).astype(np.float32)
+    peak = float(np.max(np.abs(signal)))
+    if peak > 0:
+        signal = signal / peak
+    return signal
+
+
+def frame_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Normalised correlation between two frames (1.0 = identical)."""
+    if a.shape != b.shape:
+        raise ValueError("frame shape mismatch")
+    fa = a.ravel() - a.mean()
+    fb = b.ravel() - b.mean()
+    denom = float(np.linalg.norm(fa) * np.linalg.norm(fb))
+    if denom == 0:
+        return 1.0
+    return float(np.dot(fa, fb) / denom)
+
+
+def render_sequence(item: ContentItem, start_s: float,
+                    count: int, step_s: float = 1.0) -> list:
+    """Frames for ``count`` consecutive samples starting at ``start_s``."""
+    if count < 0:
+        raise ValueError("negative count")
+    return [render_frame(PlayState(item, start_s + i * step_s))
+            for i in range(count)]

@@ -1,0 +1,37 @@
+"""MITM payload-inspection substrate — the paper's stated future work:
+"explore more advanced MITM techniques to understand the payload of ACR
+network traffic".
+
+A pinning-aware TLS-terminating proxy (:mod:`repro.mitm.proxy`) yields
+plaintext for non-pinned hosts; the inspector (:mod:`repro.mitm.inspect`)
+classifies payloads, parses fingerprint batches, and extracts device
+identifiers."""
+
+from .ca import (Certificate, CertificateAuthority, OPERATOR_CA,
+                 PINNED_DOMAINS, TESTBED_CA, TrustStore)
+from .inspect import (DomainPayloadReport, InspectedMessage,
+                      KIND_ACR_BATCH, KIND_JSON_LOG, KIND_KEEPALIVE,
+                      KIND_UNKNOWN, PayloadInspector, inspect_record,
+                      shannon_entropy)
+from .proxy import InterceptionStats, MitmProxy, PlaintextRecord
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "DomainPayloadReport",
+    "InspectedMessage",
+    "InterceptionStats",
+    "KIND_ACR_BATCH",
+    "KIND_JSON_LOG",
+    "KIND_KEEPALIVE",
+    "KIND_UNKNOWN",
+    "MitmProxy",
+    "OPERATOR_CA",
+    "PINNED_DOMAINS",
+    "PayloadInspector",
+    "PlaintextRecord",
+    "TESTBED_CA",
+    "TrustStore",
+    "inspect_record",
+    "shannon_entropy",
+]

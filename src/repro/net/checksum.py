@@ -1,0 +1,33 @@
+"""RFC 1071 internet checksum, used by the IPv4/TCP/UDP codecs."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement sum of 16-bit words, per RFC 1071."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header(src: bytes, dst: bytes, protocol: int,
+                  length: int) -> bytes:
+    """IPv4 pseudo header used in TCP/UDP checksum computation."""
+    return (src + dst
+            + bytes([0, protocol])
+            + length.to_bytes(2, "big"))
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when a buffer containing its own checksum sums to zero."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF

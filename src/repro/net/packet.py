@@ -1,0 +1,153 @@
+"""Captured-packet model and full-stack decode helpers.
+
+A :class:`CapturedPacket` is what the access point's tap records: a
+timestamp plus raw Ethernet bytes.  :func:`decode_packet` re-parses those
+bytes into a :class:`DecodedPacket` view — the analysis pipeline only ever
+sees decoded views of raw captures, mirroring the paper's
+capture-then-analyze workflow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .addresses import Ipv4Address, MacAddress
+from .dns import DnsMessage
+from .ethernet import ETHERTYPE_IPV4, EthernetFrame
+from .ip import PROTO_TCP, PROTO_UDP, Ipv4Packet
+from .tcp import TcpSegment
+from .udp import UdpDatagram
+
+DNS_PORT = 53
+
+
+class CapturedPacket:
+    """One packet on the wire: capture timestamp (ns) + raw frame bytes."""
+
+    __slots__ = ("timestamp", "data")
+
+    def __init__(self, timestamp: int, data: bytes) -> None:
+        if timestamp < 0:
+            raise ValueError("negative capture timestamp")
+        self.timestamp = timestamp
+        self.data = data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"CapturedPacket(t={self.timestamp}, {len(self.data)}B)"
+
+
+class DecodedPacket:
+    """Parsed view of a captured packet (as deep as the bytes allow)."""
+
+    __slots__ = ("timestamp", "length", "eth", "ip", "tcp", "udp", "dns")
+
+    def __init__(self, timestamp: int, length: int,
+                 eth: EthernetFrame,
+                 ip: Optional[Ipv4Packet] = None,
+                 tcp: Optional[TcpSegment] = None,
+                 udp: Optional[UdpDatagram] = None,
+                 dns: Optional[DnsMessage] = None) -> None:
+        self.timestamp = timestamp
+        self.length = length
+        self.eth = eth
+        self.ip = ip
+        self.tcp = tcp
+        self.udp = udp
+        self.dns = dns
+
+    @property
+    def src_ip(self) -> Optional[Ipv4Address]:
+        return self.ip.src if self.ip else None
+
+    @property
+    def dst_ip(self) -> Optional[Ipv4Address]:
+        return self.ip.dst if self.ip else None
+
+    @property
+    def src_port(self) -> Optional[int]:
+        if self.tcp:
+            return self.tcp.src_port
+        if self.udp:
+            return self.udp.src_port
+        return None
+
+    @property
+    def dst_port(self) -> Optional[int]:
+        if self.tcp:
+            return self.tcp.dst_port
+        if self.udp:
+            return self.udp.dst_port
+        return None
+
+    @property
+    def transport_payload(self) -> bytes:
+        if self.tcp:
+            return self.tcp.payload
+        if self.udp:
+            return self.udp.payload
+        return b""
+
+    def __repr__(self) -> str:
+        proto = "tcp" if self.tcp else ("udp" if self.udp else "eth")
+        return (f"DecodedPacket(t={self.timestamp}, {proto}, "
+                f"{self.src_ip}:{self.src_port} -> "
+                f"{self.dst_ip}:{self.dst_port}, {self.length}B)")
+
+
+def decode_packet(packet: CapturedPacket,
+                  verify_checksums: bool = False) -> DecodedPacket:
+    """Parse a captured packet as deep as its bytes allow.
+
+    DNS parse failures are tolerated (the payload may be a non-DNS UDP
+    protocol on port 53 in hostile captures); lower-layer failures raise.
+    """
+    eth = EthernetFrame.decode(packet.data)
+    decoded = DecodedPacket(packet.timestamp, len(packet.data), eth)
+    if eth.ethertype != ETHERTYPE_IPV4:
+        return decoded
+    ip = Ipv4Packet.decode(eth.payload, verify=verify_checksums)
+    decoded.ip = ip
+    if ip.protocol == PROTO_TCP:
+        decoded.tcp = TcpSegment.decode(ip.payload)
+    elif ip.protocol == PROTO_UDP:
+        udp = UdpDatagram.decode(ip.payload)
+        decoded.udp = udp
+        if DNS_PORT in (udp.src_port, udp.dst_port):
+            try:
+                decoded.dns = DnsMessage.decode(udp.payload)
+            except ValueError:
+                decoded.dns = None
+    return decoded
+
+
+def build_udp_frame(src_mac: MacAddress, dst_mac: MacAddress,
+                    src_ip: Ipv4Address, dst_ip: Ipv4Address,
+                    src_port: int, dst_port: int, payload: bytes,
+                    identification: int = 0, ttl: int = 64) -> bytes:
+    """Compose UDP payload down to Ethernet bytes."""
+    udp = UdpDatagram(src_port, dst_port, payload)
+    ip = Ipv4Packet(src_ip, dst_ip, PROTO_UDP,
+                    udp.encode(src_ip, dst_ip),
+                    ttl=ttl, identification=identification)
+    return EthernetFrame(dst_mac, src_mac, ETHERTYPE_IPV4, ip.encode()) \
+        .encode()
+
+
+def build_tcp_frame(src_mac: MacAddress, dst_mac: MacAddress,
+                    src_ip: Ipv4Address, dst_ip: Ipv4Address,
+                    segment: TcpSegment,
+                    identification: int = 0, ttl: int = 64) -> bytes:
+    """Compose a TCP segment down to Ethernet bytes."""
+    ip = Ipv4Packet(src_ip, dst_ip, PROTO_TCP,
+                    segment.encode(src_ip, dst_ip),
+                    ttl=ttl, identification=identification)
+    return EthernetFrame(dst_mac, src_mac, ETHERTYPE_IPV4, ip.encode()) \
+        .encode()
+
+
+def decode_all(packets: List[CapturedPacket]) -> List[DecodedPacket]:
+    """Decode a capture in order."""
+    return [decode_packet(p) for p in packets]

@@ -1,0 +1,127 @@
+"""libpcap file format reader/writer.
+
+The testbed writes real ``.pcap`` files (classic libpcap, microsecond
+timestamps, LINKTYPE_ETHERNET) and the analysis pipeline reads them back.
+Files produced here open in Wireshark/tcpdump, which is how we validated the
+codecs during development.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Iterable, Iterator, List, Union
+
+from .packet import CapturedPacket
+
+MAGIC_USEC = 0xA1B2C3D4
+MAGIC_USEC_SWAPPED = 0xD4C3B2A1
+VERSION_MAJOR = 2
+VERSION_MINOR = 4
+LINKTYPE_ETHERNET = 1
+
+GLOBAL_HEADER = struct.Struct("<IHHiIII")
+RECORD_HEADER = struct.Struct("<IIII")
+
+_NS_PER_US = 1_000
+_NS_PER_S = 1_000_000_000
+
+
+class PcapError(ValueError):
+    """Raised on malformed pcap input."""
+
+
+class PcapWriter:
+    """Stream packets into a pcap file object."""
+
+    def __init__(self, fileobj: BinaryIO, snaplen: int = 65535) -> None:
+        self._file = fileobj
+        self._count = 0
+        self._file.write(GLOBAL_HEADER.pack(
+            MAGIC_USEC, VERSION_MAJOR, VERSION_MINOR,
+            0, 0, snaplen, LINKTYPE_ETHERNET))
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def write(self, packet: CapturedPacket) -> None:
+        ts_sec, ts_ns = divmod(packet.timestamp, _NS_PER_S)
+        ts_usec = ts_ns // _NS_PER_US
+        length = len(packet.data)
+        self._file.write(RECORD_HEADER.pack(ts_sec, ts_usec, length, length))
+        self._file.write(packet.data)
+        self._count += 1
+
+    def write_all(self, packets: Iterable[CapturedPacket]) -> int:
+        before = self._count
+        for packet in packets:
+            self.write(packet)
+        return self._count - before
+
+
+class PcapReader:
+    """Iterate packets from a pcap file object."""
+
+    def __init__(self, fileobj: BinaryIO) -> None:
+        self._file = fileobj
+        header = fileobj.read(GLOBAL_HEADER.size)
+        if len(header) < GLOBAL_HEADER.size:
+            raise PcapError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == MAGIC_USEC:
+            self._swapped = False
+        elif magic == MAGIC_USEC_SWAPPED:
+            self._swapped = True
+        else:
+            raise PcapError(f"bad pcap magic: {magic:#010x}")
+        fmt = ">IHHiIII" if self._swapped else "<IHHiIII"
+        (__, major, minor, __, __, self.snaplen,
+         self.linktype) = struct.unpack(fmt, header)
+        self.version = (major, minor)
+        if self.linktype != LINKTYPE_ETHERNET:
+            raise PcapError(f"unsupported linktype: {self.linktype}")
+
+    def __iter__(self) -> Iterator[CapturedPacket]:
+        fmt = ">IIII" if self._swapped else "<IIII"
+        header_size = RECORD_HEADER.size
+        while True:
+            header = self._file.read(header_size)
+            if not header:
+                return
+            if len(header) < header_size:
+                raise PcapError("truncated pcap record header")
+            ts_sec, ts_usec, incl_len, orig_len = struct.unpack(fmt, header)
+            if incl_len > self.snaplen + 65536:
+                raise PcapError(f"implausible record length: {incl_len}")
+            data = self._file.read(incl_len)
+            if len(data) < incl_len:
+                raise PcapError("truncated pcap record data")
+            timestamp = ts_sec * _NS_PER_S + ts_usec * _NS_PER_US
+            yield CapturedPacket(timestamp, data)
+
+
+def dump_bytes(packets: Iterable[CapturedPacket]) -> bytes:
+    """Serialize a packet list to pcap bytes in memory."""
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer)
+    writer.write_all(packets)
+    return buffer.getvalue()
+
+
+def load_bytes(raw: Union[bytes, bytearray]) -> List[CapturedPacket]:
+    """Parse pcap bytes into a packet list."""
+    return list(PcapReader(io.BytesIO(bytes(raw))))
+
+
+def save_file(path: str, packets: Iterable[CapturedPacket]) -> int:
+    """Write packets to ``path``; returns the packet count."""
+    with open(path, "wb") as fileobj:
+        writer = PcapWriter(fileobj)
+        return writer.write_all(packets)
+
+
+def load_file(path: str) -> List[CapturedPacket]:
+    """Read all packets from ``path``."""
+    with open(path, "rb") as fileobj:
+        return list(PcapReader(fileobj))

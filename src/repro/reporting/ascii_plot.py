@@ -1,0 +1,63 @@
+"""Terminal plots: spike timelines (Figures 4/6) and CDF curves (5/7)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..analysis.cdf import CumulativeCurve
+from ..analysis.timeline import Timeline
+
+_BARS = " .:-=+*#%@"
+
+
+def plot_timeline(timeline: Timeline, width: int = 80,
+                  label: str = "") -> str:
+    """A one-line spike plot: each column is a window slice, character
+    height encodes the peak packets/ms inside the slice."""
+    counts = timeline.counts
+    if len(counts) == 0:
+        return f"{label} (empty)"
+    slices = np.array_split(counts, width)
+    peaks = np.array([s.max() if len(s) else 0 for s in slices],
+                     dtype=np.float64)
+    top = peaks.max()
+    if top == 0:
+        body = " " * width
+    else:
+        levels = np.ceil(peaks / top * (len(_BARS) - 1)).astype(int)
+        body = "".join(_BARS[level] for level in levels)
+    return f"{label:24s} |{body}| peak={int(top)} pkts/bin"
+
+
+def plot_timelines(timelines: Sequence[Timeline],
+                   labels: Sequence[str], width: int = 80) -> str:
+    return "\n".join(plot_timeline(t, width, l)
+                     for t, l in zip(timelines, labels))
+
+
+def plot_cdf(curve: CumulativeCurve, width: int = 60, height: int = 10,
+             label: str = "") -> str:
+    """A block-character CDF plot (fraction of bytes vs time)."""
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    if len(curve) == 0:
+        lines.append("(no traffic)")
+        return "\n".join(lines)
+    duration = float(curve.times_s[-1]) or 1.0
+    grid_t = np.linspace(0.0, duration, width)
+    fractions = np.array([curve.value_at(t) for t in grid_t],
+                         dtype=np.float64)
+    total = curve.total_bytes or 1
+    fractions /= total
+    for row in range(height, 0, -1):
+        threshold = row / height
+        line = "".join("#" if f >= threshold - 1e-9 else " "
+                       for f in fractions)
+        prefix = f"{threshold:4.1f} " if row in (height, 1) else "     "
+        lines.append(prefix + "|" + line)
+    lines.append("     +" + "-" * width)
+    lines.append(f"     0s{'':{max(0, width - 12)}}{duration:.0f}s")
+    return "\n".join(lines)

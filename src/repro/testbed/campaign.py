@@ -1,0 +1,112 @@
+"""Campaign orchestration: run experiment matrices with a disk-backed cache.
+
+One-hour captures are deterministic in (spec, seed), so a campaign memoizes
+each cell as a pcap plus a small metadata record.  Benches and the
+per-figure experiment drivers all pull from the same cache, which is how a
+full 6x4x2x2 matrix stays tractable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Callable, Dict, List, Optional
+
+from .experiment import ExperimentSpec, full_matrix
+from .runner import ExperimentResult, run_experiment
+from .validation import validate
+
+
+class CampaignRunner:
+    """Runs and memoizes experiment cells."""
+
+    def __init__(self, seed: int = 0, artifact_dir: Optional[str] = None,
+                 validate_results: bool = True) -> None:
+        self.seed = seed
+        self.artifact_dir = artifact_dir
+        self.validate_results = validate_results
+        self._memory: Dict[str, ExperimentResult] = {}
+        self.runs = 0
+        self.cache_hits = 0
+        if artifact_dir:
+            os.makedirs(artifact_dir, exist_ok=True)
+
+    # -- cache keys -------------------------------------------------------------
+
+    def _key(self, spec: ExperimentSpec) -> str:
+        return f"{spec.label}-s{self.seed}-d{spec.duration_ns}"
+
+    def _pcap_path(self, spec: ExperimentSpec) -> Optional[str]:
+        if not self.artifact_dir:
+            return None
+        return os.path.join(self.artifact_dir, self._key(spec) + ".pcap")
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Run (or recall) one experiment."""
+        key = self._key(spec)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        result = run_experiment(spec, seed=self.seed)
+        self.runs += 1
+        if self.validate_results:
+            report = validate(result)
+            if not report.ok:
+                raise RuntimeError(
+                    f"experiment {spec.label} failed validation: "
+                    f"{report.failures}")
+        path = self._pcap_path(spec)
+        if path:
+            with open(path, "wb") as fileobj:
+                fileobj.write(result.pcap_bytes)
+            self._write_metadata(spec, result)
+        self._memory[key] = result
+        return result
+
+    def run_all(self, specs: List[ExperimentSpec],
+                progress: Optional[Callable[[ExperimentSpec], None]] = None
+                ) -> List[ExperimentResult]:
+        results = []
+        for spec in specs:
+            if progress:
+                progress(spec)
+            results.append(self.run(spec))
+        return results
+
+    def run_full_matrix(self, duration_ns: Optional[int] = None
+                        ) -> List[ExperimentResult]:
+        specs = full_matrix(duration_ns) if duration_ns else full_matrix()
+        return self.run_all(specs)
+
+    def _write_metadata(self, spec: ExperimentSpec,
+                        result: ExperimentResult) -> None:
+        path = os.path.join(self.artifact_dir, self._key(spec) + ".json")
+        metadata = {
+            "label": spec.label,
+            "seed": self.seed,
+            "duration_ns": spec.duration_ns,
+            "packets": result.packet_count,
+            "tv_mac": result.tv_mac,
+            "tv_ip": result.tv_ip,
+            "device_id": result.device_id,
+            "actions": [[t, a] for t, a in result.action_log],
+        }
+        with open(path, "w", encoding="utf-8") as fileobj:
+            json.dump(metadata, fileobj, indent=2)
+
+    def evict(self, spec: ExperimentSpec) -> None:
+        """Drop one cell from the in-memory cache (pcap on disk remains)."""
+        self._memory.pop(self._key(spec), None)
+
+    def __repr__(self) -> str:
+        return (f"CampaignRunner(seed={self.seed}, runs={self.runs}, "
+                f"hits={self.cache_hits}, cached={len(self._memory)})")
+
+
+def default_artifact_dir() -> str:
+    """A workspace-local artifact directory."""
+    return os.path.join(tempfile.gettempdir(), "repro-acr-artifacts")

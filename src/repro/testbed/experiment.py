@@ -1,0 +1,123 @@
+"""Experiment vocabulary: scenarios, phases, countries, vendors, specs.
+
+One :class:`ExperimentSpec` names a single one-hour capture; the paper's
+full matrix is 6 scenarios x 4 phases x 2 vendors x 2 countries.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Tuple
+
+from ..sim.clock import hours, seconds
+
+
+class Vendor(Enum):
+    SAMSUNG = "samsung"
+    LG = "lg"
+
+
+class Country(Enum):
+    UK = "uk"
+    US = "us"
+
+    @property
+    def vantage(self) -> str:
+        """Region key for the latency model / traceroute vantage."""
+        return "uk" if self is Country.UK else "us_west"
+
+
+class Scenario(Enum):
+    """The six experimental scenarios (§3.2)."""
+
+    IDLE = "idle"
+    LINEAR = "linear"
+    FAST = "fast"
+    OTT = "ott"
+    HDMI = "hdmi"
+    SCREEN_CAST = "screen_cast"
+
+
+class Phase(Enum):
+    """The four privacy-configuration phases (§3.2, Figure 3)."""
+
+    LIN_OIN = "LIn-OIn"       # logged in,  opted in
+    LOUT_OIN = "LOut-OIn"     # logged out, opted in
+    LIN_OOUT = "LIn-OOut"     # logged in,  opted out
+    LOUT_OOUT = "LOut-OOut"   # logged out, opted out
+
+    @property
+    def logged_in(self) -> bool:
+        return self in (Phase.LIN_OIN, Phase.LIN_OOUT)
+
+    @property
+    def opted_in(self) -> bool:
+        return self in (Phase.LIN_OIN, Phase.LOUT_OIN)
+
+
+DEFAULT_DURATION_NS = hours(1)
+POWER_ON_AT_NS = seconds(2)
+SCENARIO_START_NS = seconds(30)
+
+
+class ExperimentSpec:
+    """One experiment cell in the paper's matrix."""
+
+    __slots__ = ("vendor", "country", "scenario", "phase", "duration_ns")
+
+    def __init__(self, vendor: Vendor, country: Country,
+                 scenario: Scenario, phase: Phase,
+                 duration_ns: int = DEFAULT_DURATION_NS) -> None:
+        if duration_ns <= SCENARIO_START_NS:
+            raise ValueError("experiment too short for the workflow")
+        self.vendor = vendor
+        self.country = country
+        self.scenario = scenario
+        self.phase = phase
+        self.duration_ns = duration_ns
+
+    @property
+    def label(self) -> str:
+        return (f"{self.vendor.value}-{self.country.value}-"
+                f"{self.scenario.value}-{self.phase.value}")
+
+    def __repr__(self) -> str:
+        return f"ExperimentSpec({self.label})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ExperimentSpec)
+                and other.label == self.label
+                and other.duration_ns == self.duration_ns)
+
+    def __hash__(self) -> int:
+        return hash((self.label, self.duration_ns))
+
+
+def full_matrix(duration_ns: int = DEFAULT_DURATION_NS
+                ) -> List[ExperimentSpec]:
+    """Every cell of the paper's 6x4x2x2 design."""
+    specs: List[ExperimentSpec] = []
+    for vendor in Vendor:
+        for country in Country:
+            for scenario in Scenario:
+                for phase in Phase:
+                    specs.append(ExperimentSpec(
+                        vendor, country, scenario, phase, duration_ns))
+    return specs
+
+
+def scenario_sweep(vendor: Vendor, country: Country, phase: Phase,
+                   duration_ns: int = DEFAULT_DURATION_NS
+                   ) -> List[ExperimentSpec]:
+    """All six scenarios for one vendor/country/phase (one table row set)."""
+    return [ExperimentSpec(vendor, country, scenario, phase, duration_ns)
+            for scenario in Scenario]
+
+
+def phase_pair(vendor: Vendor, country: Country, scenario: Scenario,
+               phases: Tuple[Phase, Phase],
+               duration_ns: int = DEFAULT_DURATION_NS
+               ) -> List[ExperimentSpec]:
+    """Two phases of the same cell, for differential comparisons."""
+    return [ExperimentSpec(vendor, country, scenario, phase, duration_ns)
+            for phase in phases]

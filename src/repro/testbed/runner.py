@@ -1,0 +1,183 @@
+"""Run one experiment end to end.
+
+The workflow mirrors §3.2 exactly: start capture, power the TV on through
+the smart plug (boot DNS burst), trigger the scenario through the remote,
+run for the experiment duration, power off, stop capture.  The output is a
+real pcap plus the out-of-band handles (backend, registry) that only our
+white-box reproduction can offer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..acr.server import AcrBackend
+from ..dnsinfra.registry import DomainRegistry
+from ..dnsinfra.zones import Zone
+from ..media.sources import (FastApp, HdmiInput, HomeScreen, InputSource,
+                             OttApp, ScreenCast, Tuner)
+from ..net.packet import CapturedPacket
+from ..net.stack import HostStack
+from ..sim.clock import seconds
+from ..sim.events import EventLoop
+from ..sim.rng import RngRegistry
+from ..tv.device import SmartTV
+from ..tv.lg import LgTv
+from ..tv.power import SmartPlug
+from ..tv.remote import RemoteControl
+from ..tv.samsung import SamsungTv
+from . import assets
+from .access_point import AccessPoint
+from .experiment import (ExperimentSpec, POWER_ON_AT_NS, Scenario,
+                         SCENARIO_START_NS, Vendor)
+
+
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    __slots__ = ("spec", "seed", "pcap_bytes", "packet_count", "tv_mac",
+                 "tv_ip", "device_id", "backend", "registry", "zone",
+                 "action_log", "power_log", "acr_stats", "mitm_proxy")
+
+    def __init__(self, spec: ExperimentSpec, seed: int, pcap_bytes: bytes,
+                 packet_count: int, tv_mac: str, tv_ip: str,
+                 device_id: str, backend: AcrBackend,
+                 registry: DomainRegistry, zone: Zone,
+                 action_log: List, power_log: List,
+                 acr_stats, mitm_proxy=None) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.pcap_bytes = pcap_bytes
+        self.packet_count = packet_count
+        self.tv_mac = tv_mac
+        self.tv_ip = tv_ip
+        self.device_id = device_id
+        self.backend = backend
+        self.registry = registry
+        self.zone = zone
+        self.action_log = action_log
+        self.power_log = power_log
+        self.acr_stats = acr_stats
+        self.mitm_proxy = mitm_proxy
+
+    def __repr__(self) -> str:
+        return (f"ExperimentResult({self.spec.label}, seed={self.seed}, "
+                f"{self.packet_count} packets, "
+                f"{len(self.pcap_bytes)} pcap bytes)")
+
+
+def build_source(spec: ExperimentSpec, seed: int) -> InputSource:
+    """The input source for a scenario, over the cached country assets."""
+    country = spec.country.value
+    library = assets.media_library(country, 0)
+    if spec.scenario is Scenario.IDLE:
+        return HomeScreen(assets.ui_item())
+    if spec.scenario is Scenario.LINEAR:
+        return Tuner(assets.linear_channel(country, 0))
+    if spec.scenario is Scenario.FAST:
+        app = "samsung-tv-plus" if spec.vendor is Vendor.SAMSUNG \
+            else "lg-channels"
+        return FastApp(app, assets.fast_channel(country, 0))
+    if spec.scenario is Scenario.OTT:
+        return OttApp("netflix", assets.ott_playlist(country, 0))
+    if spec.scenario is Scenario.HDMI:
+        return HdmiInput([library.desktop(), library.game()], dwell_s=300)
+    if spec.scenario is Scenario.SCREEN_CAST:
+        return ScreenCast(library.movies[2])
+    raise ValueError(f"unhandled scenario: {spec.scenario}")
+
+
+def run_experiment(spec: ExperimentSpec, seed: int = 0,
+                   registry: Optional[DomainRegistry] = None,
+                   mitm: bool = False,
+                   dns_blocklist=None) -> ExperimentResult:
+    """Execute one experiment cell and return its artifacts.
+
+    ``mitm=True`` installs the testbed CA on the TV and routes every TLS
+    session through a pinning-aware interception proxy; the result then
+    carries a :class:`~repro.mitm.proxy.MitmProxy` full of plaintext for
+    non-pinned hosts (the paper's future-work payload study).
+
+    ``dns_blocklist`` (anything with ``is_listed(name)``) sinkholes
+    listed names at the AP resolver — the Pi-hole/Blokada intervention
+    whose effectiveness the blocklist evaluation measures.
+    """
+    rng = RngRegistry(seed).fork(spec.label)
+    loop = EventLoop()
+    registry = registry or DomainRegistry()
+    zone = Zone(registry)
+    ap = AccessPoint(spec.country.vantage, zone, rng)
+    ap.register_servers(registry.ipspace.all_servers())
+    if dns_blocklist is not None:
+        from ..dnsinfra.resolver import FilteringResolver
+        ap.resolver = FilteringResolver(ap.resolver, dns_blocklist)
+    stack = HostStack(
+        mac=_tv_mac(spec, seed),
+        ip=ap.tv_ip,
+        gateway_mac=ap.mac,
+        latency=ap.latency,
+        rng=rng,
+        capture=ap.capture,
+    )
+    backend = assets.fresh_backend(spec.vendor.value, spec.country.value)
+    tv_class = SamsungTv if spec.vendor is Vendor.SAMSUNG else LgTv
+    tv: SmartTV = tv_class(
+        country=spec.country.value,
+        loop=loop,
+        rng=rng,
+        stack=stack,
+        resolver=ap.resolver,
+        resolver_ip=ap.lan_ip,
+        registry=registry,
+        backend=backend,
+        seed=seed,
+    )
+    # Phase configuration happens before power-on: the paper re-runs the
+    # whole workflow per phase with the TV already in that state.
+    if spec.phase.logged_in:
+        tv.settings.login()
+        tv.identifiers.link_account(seed)
+    if not spec.phase.opted_in:
+        tv.settings.opt_out_all()
+
+    proxy = None
+    if mitm:
+        from ..mitm import MitmProxy, TESTBED_CA, TrustStore
+        trust_store = TrustStore(spec.vendor.value)
+        trust_store.install_root(TESTBED_CA)
+        proxy = MitmProxy(trust_store)
+        tv.mitm_proxy = proxy
+
+    plug = SmartPlug(loop, tv)
+    remote = RemoteControl(loop, tv)
+    source = build_source(spec, seed)
+
+    ap.start_capture()
+    plug.power_on_at(POWER_ON_AT_NS)
+    remote.select_source_at(SCENARIO_START_NS, source)
+    plug.power_off_at(spec.duration_ns - seconds(1))
+    loop.run_until(spec.duration_ns)
+    packets: List[CapturedPacket] = ap.stop_capture()
+
+    return ExperimentResult(
+        spec=spec,
+        seed=seed,
+        pcap_bytes=ap.to_pcap_bytes(),
+        packet_count=len(packets),
+        tv_mac=str(stack.mac),
+        tv_ip=str(stack.ip),
+        device_id=tv.identifiers.acr_device_id,
+        backend=backend,
+        registry=registry,
+        zone=zone,
+        action_log=list(remote.action_log),
+        power_log=list(plug.transitions),
+        acr_stats=tv.acr_client.stats,
+        mitm_proxy=proxy,
+    )
+
+
+def _tv_mac(spec: ExperimentSpec, seed: int):
+    from ..net.addresses import mac_from_seed
+    return mac_from_seed(hash((spec.vendor.value, seed)) & 0xFFFFFF
+                         | 0x020000000000)

@@ -1,0 +1,89 @@
+"""Validation scripts: did the experiment actually do what it claims?
+
+The paper's methodology includes scripts "verifying the correct execution
+of the experiments"; these are the equivalents, run over an
+:class:`~repro.testbed.runner.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..net.pcap import load_bytes
+from ..sim.clock import seconds
+from .experiment import Phase, POWER_ON_AT_NS, Scenario
+from .runner import ExperimentResult
+
+
+class ValidationReport:
+    """Outcome of all validation checks for one experiment."""
+
+    __slots__ = ("label", "checks", "failures")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.checks: List[str] = []
+        self.failures: List[str] = []
+
+    def record(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(name)
+        if not passed:
+            self.failures.append(f"{name}: {detail}" if detail else name)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __repr__(self) -> str:
+        state = "OK" if self.ok else f"FAILED ({len(self.failures)})"
+        return f"ValidationReport({self.label}, {state})"
+
+
+def validate(result: ExperimentResult) -> ValidationReport:
+    """Run every check against one experiment result."""
+    report = ValidationReport(result.spec.label)
+
+    report.record("capture-nonempty", result.packet_count > 0,
+                  "no packets captured")
+
+    packets = load_bytes(result.pcap_bytes)
+    report.record("pcap-roundtrip", len(packets) == result.packet_count,
+                  f"pcap has {len(packets)} of {result.packet_count}")
+
+    timestamps = [p.timestamp for p in packets]
+    report.record("timestamps-sorted", timestamps == sorted(timestamps))
+
+    report.record(
+        "powered-on-then-off",
+        [kind for __, kind in result.power_log] == ["on", "off"],
+        f"power log: {result.power_log}")
+
+    # Boot burst: traffic within 10 s of power-on (§3.2: most DNS happens
+    # in the first few seconds) — except when fully opted out AND idle,
+    # where only gated-but-allowed services speak.
+    early = [t for t in timestamps
+             if t <= POWER_ON_AT_NS + seconds(10)]
+    report.record("boot-burst", len(early) > 0,
+                  "no traffic within 10s of power-on")
+
+    scenario_actions = [label for __, label in result.action_log
+                        if label.startswith("select-source")]
+    report.record("scenario-triggered", len(scenario_actions) == 1,
+                  f"actions: {result.action_log}")
+
+    expected_source = {
+        Scenario.IDLE: "home", Scenario.LINEAR: "tuner",
+        Scenario.FAST: "fast", Scenario.OTT: "ott",
+        Scenario.HDMI: "hdmi", Scenario.SCREEN_CAST: "cast",
+    }[result.spec.scenario]
+    report.record(
+        "correct-source", scenario_actions == [
+            f"select-source:{expected_source}"],
+        f"got {scenario_actions}")
+
+    if result.spec.phase in (Phase.LIN_OOUT, Phase.LOUT_OOUT):
+        report.record("opted-out-client-silent",
+                      result.acr_stats.full_batches == 0
+                      and result.acr_stats.beacons == 0,
+                      f"acr stats: {result.acr_stats}")
+    return report

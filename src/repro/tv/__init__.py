@@ -1,0 +1,30 @@
+"""Smart TV device models: privacy settings (Table 1), identifiers,
+background services, the Samsung/LG models, and the automation peripherals
+(smart plug, remote control)."""
+
+from .device import SmartTV
+from .identifiers import DeviceIdentifiers
+from .lg import LgTv
+from .power import SmartPlug
+from .remote import RemoteControl
+from .samsung import SamsungTv
+from .services import (ServiceSpec, lg_services, samsung_services,
+                       services_for)
+from .settings import (LG_OPT_OUT_OPTIONS, PrivacySettings,
+                       SAMSUNG_OPT_OUT_OPTIONS)
+
+__all__ = [
+    "DeviceIdentifiers",
+    "LG_OPT_OUT_OPTIONS",
+    "LgTv",
+    "PrivacySettings",
+    "RemoteControl",
+    "SAMSUNG_OPT_OUT_OPTIONS",
+    "SamsungTv",
+    "ServiceSpec",
+    "SmartPlug",
+    "SmartTV",
+    "lg_services",
+    "samsung_services",
+    "services_for",
+]

@@ -1,0 +1,25 @@
+"""LG (webOS-like) device model.
+
+LG's ACR uses a *single* rotating Alphonso domain per region
+(``eu-acrX.alphonso.tv`` / ``tkacrX.alphonso.tv``) for everything:
+fingerprint uploads in full mode, and the 15-second status beacons with
+minute-cadence peaks the paper observes in restricted scenarios.  All of
+that behaviour lives in the shared :class:`~repro.acr.client.AcrClient`;
+the subclass only pins vendor identity.
+"""
+
+from __future__ import annotations
+
+from .device import SmartTV
+
+
+class LgTv(SmartTV):
+    """LG webOS model (10 ms captures, 15 s batches, Alphonso ACR)."""
+
+    vendor = "lg"
+
+    @property
+    def active_acr_domain(self) -> str:
+        """The rotation target at the current virtual time."""
+        return self.registry.rotating_acr_domain(
+            "lg", self.country, self.loop.now, self.seed)

@@ -1,0 +1,129 @@
+"""Samsung (Tizen-like) device model.
+
+Beyond the base device, Samsung runs three auxiliary ACR channels the paper
+observes alongside the fingerprint endpoint:
+
+* ``log-config.samsungacr.com`` — configuration fetches (boot + refresh);
+* ``log-ingestion[-eu].samsungacr.com`` — minute-cadence telemetry whose
+  volume grows while fingerprinting is active;
+* ``acrX.samsungcloudsolution.com`` — periodic keep-alives (UK only; the
+  paper finds the domain absent in the US).
+
+All three are gated on the viewing-information consent, so the paper's
+opt-out finding ("complete absence of communication with any previously
+identified ACR domains") covers them too.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..sim.clock import minutes, seconds
+from ..sim.process import Sleep
+from .device import SmartTV
+
+
+def _json_payload(body: dict) -> bytes:
+    return json.dumps(body, separators=(",", ":")).encode("utf-8")
+
+LOG_CONFIG_DOMAIN = "log-config.samsungacr.com"
+KEEPALIVE_DOMAIN = "acr0.samsungcloudsolution.com"
+
+
+class SamsungTv(SmartTV):
+    """Samsung Tizen model (500 ms captures, 60 s batches)."""
+
+    vendor = "samsung"
+
+    @property
+    def log_ingestion_domain(self) -> str:
+        return ("log-ingestion-eu.samsungacr.com" if self.country == "uk"
+                else "log-ingestion.samsungacr.com")
+
+    @property
+    def has_keepalive_channel(self) -> bool:
+        return self.country == "uk"
+
+    def uses_acr_log_domain(self, name: str) -> bool:
+        """Only the active endpoints of the numbered scheme are spoken to
+        (acr0 of acr0..acr3, plus the log/config pair)."""
+        return name in (LOG_CONFIG_DOMAIN, KEEPALIVE_DOMAIN,
+                        self.log_ingestion_domain)
+
+    def acr_aux_loops(self) -> None:
+        self._spawn(self._log_config_loop(), "acr:log-config")
+        self._spawn(self._log_ingestion_loop(), "acr:log-ingestion")
+        if self.has_keepalive_channel:
+            self._spawn(self._keepalive_loop(), "acr:keepalive")
+
+    # -- channels ------------------------------------------------------------
+
+    def _log_config_loop(self):
+        """Boot-time ACR configuration fetch plus periodic refresh."""
+        yield Sleep(seconds(6))
+        if self.settings.acr_enabled:
+            self.send(self.loop.now, LOG_CONFIG_DOMAIN, 850, 2600,
+                      request_plaintext=_json_payload({
+                          "type": "acr-config-fetch",
+                          "device": self.identifiers.acr_device_id,
+                          "fw": "tizen-7.0",
+                      }))
+        while True:
+            yield Sleep(self.rng.jitter_ns("acr:log-config",
+                                           minutes(24), 0.1))
+            if self.settings.acr_enabled:
+                self.send(self.loop.now, LOG_CONFIG_DOMAIN, 380, 700,
+                          request_plaintext=_json_payload({
+                              "type": "acr-config-refresh",
+                              "device": self.identifiers.acr_device_id,
+                          }))
+
+    def _log_ingestion_loop(self):
+        """Minute-cadence telemetry; fatter while ACR has things to log.
+
+        The boost trigger differs by region (visible in Tables 2 vs 4):
+        the EU backend only logs *recognitions*, so unmatched HDMI content
+        stays at base volume; the US backend logs every fingerprint
+        upload, so HDMI telemetry rides as high as Antenna.
+        """
+        yield Sleep(seconds(9))
+        batches_seen = 0
+        recognised_seen = 0
+        while True:
+            yield Sleep(self.rng.jitter_ns("acr:ingestion",
+                                           seconds(60), 0.05))
+            if not self.settings.acr_enabled:
+                continue
+            stats = self.acr_client.stats
+            if self.country == "uk":
+                boosted = stats.recognised > recognised_seen
+            else:
+                boosted = stats.full_batches > batches_seen
+            batches_seen = stats.full_batches
+            recognised_seen = stats.recognised
+            request = 3800 if boosted else 1900
+            response = 420
+            self.send(self.loop.now, self.log_ingestion_domain,
+                      self.rng.jitter_ns("acr:ingestion-size", request,
+                                         0.15),
+                      response,
+                      request_plaintext=_json_payload({
+                          "type": "acr-telemetry",
+                          "device": self.identifiers.acr_device_id,
+                          "batches": stats.full_batches,
+                          "recognised": stats.recognised,
+                          "boosted": boosted,
+                      }))
+
+    def _keepalive_loop(self):
+        """acr0.samsungcloudsolution.com: steady small keep-alives."""
+        yield Sleep(seconds(12))
+        while True:
+            yield Sleep(self.rng.jitter_ns("acr:keepalive",
+                                           minutes(5), 0.05))
+            if self.settings.acr_enabled:
+                self.send(self.loop.now, KEEPALIVE_DOMAIN, 150, 170,
+                          request_plaintext=_json_payload({
+                              "type": "acr-keepalive",
+                              "device": self.identifiers.acr_device_id,
+                          }))

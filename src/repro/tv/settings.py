@@ -1,0 +1,130 @@
+"""Privacy settings model, including the paper's Table 1 opt-out options.
+
+Each vendor exposes its own set of toggles; the experiment phases flip them
+wholesale ("we actively opt-out of all advertising/tracking options
+available directly on the TVs").  ACR specifically hangs off the *viewing
+information* consent: LG's "Viewing information agreement" and Samsung's
+"I consent to viewing information services on this device".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# (option key, label, value-when-opted-out) — straight from Table 1.
+# ``value-when-opted-out`` captures that some options are *enabled* to
+# opt out (e.g. "Limit ad tracking") while most are disabled.
+LG_OPT_OUT_OPTIONS: List[Tuple[str, str, bool]] = [
+    ("limit_ad_tracking", "Enable Limit ad tracking", True),
+    ("membership_marketing",
+     "TV membership agreement for marketing comms.", False),
+    ("do_not_sell", "Enable Do not sell my personal information", True),
+    ("viewing_information", "Viewing information agreement", False),
+    ("voice_information", "Voice information agreement", False),
+    ("interest_based_ads",
+     "Interest-based & Cross-device advertising agreement", False),
+    ("who_where_what", "Who.Where.What?", False),
+    ("home_promotion", "Home promotion", False),
+    ("content_recommendation", "Content recommendation", False),
+    ("live_plus", "Live plus", False),
+    ("ai_recommendation",
+     "AI recommendation (Who.Where.What, Smart Tips)", False),
+]
+
+SAMSUNG_OPT_OUT_OPTIONS: List[Tuple[str, str, bool]] = [
+    ("viewing_information",
+     "I consent to viewing information services on this device", False),
+    ("interest_based_ads", "I consent to interest-Based advertisements",
+     False),
+    ("customization_service", "Customization Service", False),
+    ("do_not_track", "Enable Do not track", True),
+    ("personalized_ads_improvement", "Improve personalized ads", False),
+    ("news_and_offers", "Get news and special offer", False),
+]
+
+_OPTIONS_BY_VENDOR = {
+    "lg": LG_OPT_OUT_OPTIONS,
+    "samsung": SAMSUNG_OPT_OUT_OPTIONS,
+}
+
+
+class PrivacySettings:
+    """The state of one TV's privacy toggles plus login state.
+
+    Freshly set-up TVs default to everything opted in — "the default
+    option when setting up the TV" — with ToS/privacy policy necessarily
+    accepted (the TV is unusable otherwise).
+    """
+
+    def __init__(self, vendor: str) -> None:
+        if vendor not in _OPTIONS_BY_VENDOR:
+            raise ValueError(f"unknown vendor: {vendor!r}")
+        self.vendor = vendor
+        self.tos_accepted = True
+        self.logged_in = False
+        self._values: Dict[str, bool] = {}
+        self.opt_in_all()
+
+    # -- phase operations ------------------------------------------------------
+
+    def opt_in_all(self) -> None:
+        """Factory default: every tracking-related consent granted."""
+        for key, __, opted_out_value in _OPTIONS_BY_VENDOR[self.vendor]:
+            self._values[key] = not opted_out_value
+
+    def opt_out_all(self) -> None:
+        """Exercise every Table 1 option."""
+        for key, __, opted_out_value in _OPTIONS_BY_VENDOR[self.vendor]:
+            self._values[key] = opted_out_value
+
+    def login(self) -> None:
+        self.logged_in = True
+
+    def logout(self) -> None:
+        self.logged_in = False
+
+    # -- individual options -----------------------------------------------------
+
+    def set_option(self, key: str, value: bool) -> None:
+        if key not in self._values:
+            raise KeyError(f"no option {key!r} on {self.vendor}")
+        self._values[key] = value
+
+    def option(self, key: str) -> bool:
+        try:
+            return self._values[key]
+        except KeyError:
+            raise KeyError(f"no option {key!r} on {self.vendor}") from None
+
+    # -- derived consents the OS services check -----------------------------------
+
+    @property
+    def acr_enabled(self) -> bool:
+        """ACR hangs off the viewing-information consent (Appendix B:
+        "Across all settings, ACR is specifically disabled by turning off
+        viewing information services")."""
+        return self._values["viewing_information"]
+
+    @property
+    def ads_personalization_enabled(self) -> bool:
+        enabled = self._values["interest_based_ads"]
+        if self.vendor == "lg":
+            return enabled and not self._values["limit_ad_tracking"]
+        return enabled and not self._values["do_not_track"]
+
+    @property
+    def is_opted_out(self) -> bool:
+        """True when the full Table 1 opt-out has been exercised."""
+        return all(self._values[key] == opted_out_value
+                   for key, __, opted_out_value
+                   in _OPTIONS_BY_VENDOR[self.vendor])
+
+    def describe(self) -> List[Tuple[str, str, bool]]:
+        """(key, label, current value) rows, e.g. for Table 1 rendering."""
+        return [(key, label, self._values[key])
+                for key, label, __ in _OPTIONS_BY_VENDOR[self.vendor]]
+
+    def __repr__(self) -> str:
+        state = "opted-out" if self.is_opted_out else "opted-in"
+        login = "logged-in" if self.logged_in else "logged-out"
+        return f"PrivacySettings({self.vendor}, {state}, {login})"

@@ -1,0 +1,67 @@
+"""Shared fixtures.
+
+Expensive assets (media libraries, reference fingerprint databases,
+experiment cells) are cached at session scope — and the testbed's own
+``assets``/``experiments.cache`` layers memoize within the process — so
+the suite builds each one exactly once.
+"""
+
+import pytest
+
+from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+                           Vendor)
+from repro.experiments import cache as experiment_cache
+
+
+@pytest.fixture(scope="session")
+def uk_library():
+    from repro.testbed import media_library
+    return media_library("uk", 0)
+
+
+@pytest.fixture(scope="session")
+def uk_reference():
+    from repro.testbed import reference_library
+    return reference_library("uk", 0)
+
+
+@pytest.fixture(scope="session")
+def lg_uk_linear_result():
+    spec = ExperimentSpec(Vendor.LG, Country.UK, Scenario.LINEAR,
+                          Phase.LIN_OIN)
+    return experiment_cache.result_for(spec)
+
+
+@pytest.fixture(scope="session")
+def lg_uk_linear_pipeline():
+    spec = ExperimentSpec(Vendor.LG, Country.UK, Scenario.LINEAR,
+                          Phase.LIN_OIN)
+    return experiment_cache.pipeline_for(spec)
+
+
+@pytest.fixture(scope="session")
+def samsung_uk_linear_pipeline():
+    spec = ExperimentSpec(Vendor.SAMSUNG, Country.UK, Scenario.LINEAR,
+                          Phase.LIN_OIN)
+    return experiment_cache.pipeline_for(spec)
+
+
+@pytest.fixture(scope="session")
+def lg_uk_linear_optout_pipeline():
+    spec = ExperimentSpec(Vendor.LG, Country.UK, Scenario.LINEAR,
+                          Phase.LIN_OOUT)
+    return experiment_cache.pipeline_for(spec)
+
+
+@pytest.fixture(scope="session")
+def samsung_uk_linear_optout_pipeline():
+    spec = ExperimentSpec(Vendor.SAMSUNG, Country.UK, Scenario.LINEAR,
+                          Phase.LIN_OOUT)
+    return experiment_cache.pipeline_for(spec)
+
+
+@pytest.fixture(scope="session")
+def lg_uk_idle_pipeline():
+    spec = ExperimentSpec(Vendor.LG, Country.UK, Scenario.IDLE,
+                          Phase.LIN_OIN)
+    return experiment_cache.pipeline_for(spec)

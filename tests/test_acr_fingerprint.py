@@ -1,0 +1,129 @@
+"""Tests for fingerprinting: dHash, audio landmarks, batch codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.acr import (Capture, FingerprintBatch, audio_fingerprint,
+                       capture_state, hamming_distance, video_fingerprint)
+from repro.media import (PlayState, render_audio, render_frame,
+                         standard_library)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return standard_library("uk", seed=3)
+
+
+class TestVideoFingerprint:
+    def test_deterministic(self, library):
+        frame = render_frame(PlayState(library.shows[0], 10.0))
+        assert video_fingerprint(frame) == video_fingerprint(frame)
+
+    def test_64_bits(self, library):
+        frame = render_frame(PlayState(library.shows[0], 10.0))
+        assert 0 <= video_fingerprint(frame) < (1 << 64)
+
+    def test_same_scene_low_distance(self, library):
+        item = library.shows[0]
+        h1 = video_fingerprint(render_frame(PlayState(item, 32.0)))
+        h2 = video_fingerprint(render_frame(PlayState(item, 33.0)))
+        assert hamming_distance(h1, h2) <= 6
+
+    def test_different_content_high_distance(self, library):
+        h1 = video_fingerprint(render_frame(PlayState(library.shows[0],
+                                                      32.0)))
+        h2 = video_fingerprint(render_frame(PlayState(library.shows[1],
+                                                      32.0)))
+        assert hamming_distance(h1, h2) > 15
+
+    def test_brightness_invariance(self, library):
+        """dHash depends on gradients, not absolute brightness."""
+        frame = render_frame(PlayState(library.shows[0], 10.0))
+        brighter = np.clip(frame + 0.05, 0.0, 1.0)
+        distance = hamming_distance(video_fingerprint(frame),
+                                    video_fingerprint(brighter))
+        assert distance <= 8
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            video_fingerprint(np.zeros(10, dtype=np.float32))
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_hamming_properties(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+        assert hamming_distance(a, a) == 0
+        assert 0 <= hamming_distance(a, b) <= 64
+
+
+class TestAudioFingerprint:
+    def test_deterministic(self, library):
+        audio = render_audio(PlayState(library.shows[0], 10.0))
+        assert audio_fingerprint(audio) == audio_fingerprint(audio)
+
+    def test_landmark_count(self, library):
+        audio = render_audio(PlayState(library.shows[0], 10.0))
+        landmarks = audio_fingerprint(audio)
+        assert 1 <= len(landmarks) <= 15
+
+    def test_same_scene_overlap(self, library):
+        item = library.shows[0]
+        a = set(audio_fingerprint(render_audio(PlayState(item, 32.0))))
+        b = set(audio_fingerprint(render_audio(PlayState(item, 33.0))))
+        assert len(a & b) >= 3
+
+    def test_different_content_low_overlap(self, library):
+        a = set(audio_fingerprint(render_audio(
+            PlayState(library.shows[0], 32.0))))
+        b = set(audio_fingerprint(render_audio(
+            PlayState(library.shows[1], 32.0))))
+        assert len(a & b) <= 2
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(ValueError):
+            audio_fingerprint(np.zeros((4, 4), dtype=np.float32))
+
+
+class TestBatchCodec:
+    def _batch(self, library, n=5):
+        captures = [capture_state(PlayState(library.shows[0], 10.0 + i),
+                                  offset_ns=i * 10 ** 9)
+                    for i in range(n)]
+        return FingerprintBatch("tv-psid-0001", captures)
+
+    def test_roundtrip(self, library):
+        batch = self._batch(library)
+        decoded = FingerprintBatch.decode(batch.encode())
+        assert decoded.device_id == "tv-psid-0001"
+        assert len(decoded) == len(batch)
+        for a, b in zip(batch.captures, decoded.captures):
+            assert a.video_hash == b.video_hash
+            assert a.audio_hashes == b.audio_hashes
+            # offsets survive at millisecond precision
+            assert abs(a.offset_ns - b.offset_ns) < 10 ** 6
+
+    def test_encoded_size_grows_with_captures(self, library):
+        small = self._batch(library, n=2)
+        large = self._batch(library, n=10)
+        assert large.encoded_size > small.encoded_size
+
+    def test_empty_batch(self):
+        batch = FingerprintBatch("tv", [])
+        decoded = FingerprintBatch.decode(batch.encode())
+        assert len(decoded) == 0
+
+    def test_bad_magic_rejected(self, library):
+        raw = bytearray(self._batch(library).encode())
+        raw[0] = ord("X")
+        with pytest.raises(ValueError):
+            FingerprintBatch.decode(bytes(raw))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            FingerprintBatch.decode(b"ACR")
+
+    def test_capture_repr(self):
+        capture = Capture(10 ** 9, 0xDEADBEEF, [1, 2])
+        assert "audio landmarks" in repr(capture)

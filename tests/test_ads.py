@@ -1,0 +1,118 @@
+"""Tests for the ad-personalization substrate and the linkage study."""
+
+import pytest
+
+from repro.acr import SegmentProfiler
+from repro.ads import (AdCreative, AdInventory, AdServer, HOUSE_SEGMENT,
+                       run_linkage_study, run_multi_genre_study)
+from repro.sim import RngRegistry, seconds
+from repro.testbed import fresh_backend, media_library
+
+
+@pytest.fixture()
+def backend():
+    return fresh_backend("lg", "uk")
+
+
+@pytest.fixture(scope="module")
+def library():
+    return media_library("uk", 0)
+
+
+class TestInventory:
+    def test_covers_every_segment(self):
+        inventory = AdInventory(seed=1)
+        assert len(inventory.segments) == 10
+        for segment in inventory.segments:
+            assert len(inventory.creatives_for(segment)) == 4
+
+    def test_house_ads_exist(self):
+        inventory = AdInventory(seed=1)
+        assert len(inventory.house_ads) == 6
+        for ad in inventory.house_ads:
+            assert not ad.is_targeted
+
+    def test_deterministic(self):
+        a = AdInventory(seed=1).all_creatives
+        b = AdInventory(seed=1).all_creatives
+        assert [c.cpm_millis for c in a] == [c.cpm_millis for c in b]
+
+    def test_targeted_cpm_exceeds_house(self):
+        inventory = AdInventory(seed=1)
+        min_targeted = min(c.cpm_millis for c in inventory.all_creatives
+                           if c.is_targeted)
+        max_house = max(c.cpm_millis for c in inventory.house_ads)
+        assert min_targeted > max_house
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdInventory(per_segment=0)
+        with pytest.raises(ValueError):
+            AdCreative("x", "X", "house", cpm_millis=0)
+
+
+class TestAdServer:
+    def _server(self, backend):
+        profiler = SegmentProfiler(backend, backend.library)
+        return AdServer(AdInventory(seed=1), profiler, RngRegistry(5))
+
+    def test_unknown_device_gets_house_ads(self, backend):
+        server = self._server(backend)
+        impression = server.serve("ghost-tv", seconds(1))
+        assert not impression.is_targeted
+        assert impression.creative.segment == HOUSE_SEGMENT
+
+    def test_consent_off_forces_house_ads(self, backend, library):
+        from repro.ads.audit import _watch
+        server = self._server(backend)
+        _watch(backend, "tv-a", library.shows[0], 30)
+        server.set_consent("tv-a", False)
+        for i in range(10):
+            assert not server.serve("tv-a", seconds(i)).is_targeted
+
+    def test_profiled_device_gets_targeted_ads(self, backend, library):
+        from repro.ads.audit import _watch
+        server = self._server(backend)
+        _watch(backend, "tv-a", library.shows[0], 30)
+        for i in range(20):
+            server.serve("tv-a", seconds(i))
+        assert server.targeting_rate("tv-a") > 0.5
+
+    def test_revenue_accounting(self, backend):
+        server = self._server(backend)
+        server.serve("ghost", seconds(1))
+        assert server.revenue_millis("ghost") > 0
+        assert server.revenue_millis("other") == 0
+
+
+class TestLinkageStudy:
+    def test_linkage_established(self, backend, library):
+        result = run_linkage_study(backend, library.shows[0], seed=2)
+        assert result.linkage_established
+        assert result.optout_rate == 0.0
+        assert result.optin_rate > 0.5
+        assert result.optin_aligned_rate > 0.5
+
+    def test_revenue_lift(self, backend, library):
+        result = run_linkage_study(backend, library.shows[0], seed=2)
+        assert result.revenue_lift > 3.0
+
+    def test_expected_segment_matches_genre(self, backend, library):
+        from repro.acr.segments import SEGMENT_LABELS
+        item = library.shows[1]
+        result = run_linkage_study(backend, item, seed=2)
+        assert result.expected_segment == SEGMENT_LABELS[item.genre]
+
+    def test_multi_genre(self, backend, library):
+        results = run_multi_genre_study(backend, library.shows[:3],
+                                        seed=2)
+        assert len(results) >= 1  # shows may share genres
+        for result in results.values():
+            assert result.linkage_established
+
+    def test_insufficient_viewing_no_segments(self, backend, library):
+        """A couple of minutes is below the segment threshold."""
+        result = run_linkage_study(backend, library.shows[4],
+                                   minutes_watched=2, seed=2)
+        assert result.optin_rate == 0.0
+        assert not result.linkage_established

@@ -1,0 +1,92 @@
+"""Tests for DNS blocklist enforcement and the rotation-evasion study."""
+
+import pytest
+
+from repro.analysis import acr_volume_total, AuditPipeline
+from repro.analysis.blocklists import (HostsFileBlocklist,
+                                       stale_hosts_snapshot)
+from repro.dnsinfra import DomainRegistry, RecursiveResolver, Zone
+from repro.dnsinfra.resolver import FilteringResolver
+from repro.experiments.blocklist_eval import (run_evaluation, run_trial,
+                                              SWEEP_DURATION_NS)
+from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+                           Vendor, run_experiment)
+
+
+class TestHostsFileBlocklist:
+    def test_exact_hostname_semantics(self):
+        blocklist = HostsFileBlocklist(["eu-acr1.alphonso.tv"])
+        assert blocklist.is_listed("eu-acr1.alphonso.tv")
+        assert blocklist.is_listed("EU-ACR1.alphonso.tv.")
+        assert not blocklist.is_listed("eu-acr2.alphonso.tv")
+        assert not blocklist.is_listed("alphonso.tv")
+
+    def test_stale_snapshot_coverage(self):
+        snapshot = stale_hosts_snapshot(known_rotation_max=4)
+        assert snapshot.is_listed("eu-acr4.alphonso.tv")
+        assert not snapshot.is_listed("eu-acr5.alphonso.tv")
+        assert snapshot.is_listed("acr-eu-prd.samsungcloud.tv")
+
+
+class TestFilteringResolver:
+    def test_blocked_name_nxdomain(self):
+        registry = DomainRegistry()
+        resolver = FilteringResolver(
+            RecursiveResolver(Zone(registry)),
+            HostsFileBlocklist(["eu-acr1.alphonso.tv"]))
+        result = resolver.resolve("eu-acr1.alphonso.tv", 0)
+        assert result.nxdomain
+        assert resolver.blocked_queries == 1
+
+    def test_unlisted_name_passes(self):
+        registry = DomainRegistry()
+        resolver = FilteringResolver(
+            RecursiveResolver(Zone(registry)),
+            HostsFileBlocklist(["eu-acr1.alphonso.tv"]))
+        result = resolver.resolve("eu-acr2.alphonso.tv", 0)
+        assert not result.nxdomain
+        assert result.addresses
+
+    def test_ptr_passthrough(self):
+        registry = DomainRegistry()
+        resolver = FilteringResolver(
+            RecursiveResolver(Zone(registry)), HostsFileBlocklist([]))
+        address = registry.server("eu-acr1.alphonso.tv").address
+        assert resolver.resolve_ptr(address, 0) is not None
+
+
+class TestEnforcementEndToEnd:
+    def test_full_block_silences_acr(self):
+        """When the active rotation target is listed, ACR goes silent."""
+        spec = ExperimentSpec(Vendor.LG, Country.UK, Scenario.LINEAR,
+                              Phase.LIN_OIN,
+                              duration_ns=SWEEP_DURATION_NS)
+        blocklist = HostsFileBlocklist(
+            [f"eu-acr{i}.alphonso.tv" for i in range(1, 7)])
+        result = run_experiment(spec, seed=0, dns_blocklist=blocklist)
+        pipeline = AuditPipeline.from_result(result)
+        assert acr_volume_total(pipeline) == 0.0
+
+    def test_platform_traffic_survives_block(self):
+        """Blocking ACR must not kill unrelated platform domains."""
+        spec = ExperimentSpec(Vendor.LG, Country.UK, Scenario.LINEAR,
+                              Phase.LIN_OIN,
+                              duration_ns=SWEEP_DURATION_NS)
+        result = run_experiment(spec, seed=0,
+                                dns_blocklist=stale_hosts_snapshot())
+        pipeline = AuditPipeline.from_result(result)
+        assert any("lg" in d for d in pipeline.contacted_domains)
+
+    def test_trial_detects_leak_or_block(self):
+        trial = run_trial(seed=0)
+        assert trial.baseline_kb > 100
+        assert trial.leaked == (not trial.listed)
+
+    def test_evaluation_finds_rotation_leak(self):
+        """Across enough seeds, some rotation index escapes the stale
+        snapshot (indices 5-6 are ~1/3 of the pool)."""
+        evaluation = run_evaluation(list(range(8)))
+        assert 0.0 < evaluation.leak_rate < 1.0
+        for trial in evaluation.leaked_trials:
+            index = int(trial.active_domain.split(".")[0][-1])
+            assert index > 4  # precisely the unlisted rotation indices

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.vendor == "lg"
+        assert args.country == "uk"
+        assert args.phase == "LIn-OIn"
+
+    def test_invalid_vendor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--vendor", "vizio"])
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRunCommand:
+    def test_run_and_audit_roundtrip(self, tmp_path, capsys):
+        pcap = str(tmp_path / "cap.pcap")
+        code = main(["run", "--vendor", "lg", "--minutes", "8",
+                     "--seed", "3", "--out", pcap])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "captured" in out and "OK" in out
+
+        code = main(["audit", pcap])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eu-acr" in out
+        assert "validated" in out
+
+    def test_run_without_out_prints_audit(self, capsys):
+        code = main(["run", "--vendor", "samsung", "--minutes", "8",
+                     "--scenario", "idle"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ACR domain" in out or "no ACR candidate" in out
+
+    def test_optout_run_shows_no_acr(self, capsys):
+        code = main(["run", "--minutes", "8", "--phase", "LOut-OOut"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no ACR candidate domains" in out

@@ -1,0 +1,145 @@
+"""End-to-end tests for the per-figure drivers and the findings scorecard.
+
+These are the reproduction's acceptance tests: every shape target from
+DESIGN.md (S1-S12) must hold on real one-hour captures.  The shared
+experiment cache keeps the total number of simulated hours bounded.
+"""
+
+import pytest
+
+from repro.experiments import (build_figure, comparison_rows, figure4,
+                               figure5, run_geo_experiment, table2, table4,
+                               transmitted_curve)
+from repro.experiments import findings as findings_mod
+from repro.experiments.fig_timelines import acr_timeline
+from repro.experiments.tables_volumes import SCENARIO_NAMES
+from repro.experiments import cache
+from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+                           Vendor)
+
+
+class TestTimelineFigures:
+    def test_figure4_panels(self):
+        lg, samsung = figure4()
+        assert lg.vendor is Vendor.LG
+        assert samsung.vendor is Vendor.SAMSUNG
+        assert set(lg.timelines) == set(Scenario)
+
+    def test_linear_and_hdmi_spike_hardest_lg_uk(self):
+        figure = build_figure(Vendor.LG, Country.UK)
+        active = {Scenario.LINEAR, Scenario.HDMI}
+        restricted = set(Scenario) - active
+        min_active = min(figure.timelines[s].total_packets
+                         for s in active)
+        max_restricted = max(figure.timelines[s].total_packets
+                             for s in restricted)
+        assert min_active > 3 * max_restricted
+
+    def test_peak_reduction_several_fold(self):
+        figure = build_figure(Vendor.LG, Country.UK)
+        ratio = figure.peak_reduction(Scenario.LINEAR, Scenario.OTT)
+        assert 3.0 <= ratio <= 20.0
+
+    def test_us_fast_spikes_like_linear(self):
+        figure = build_figure(Vendor.LG, Country.US)
+        fast = figure.timelines[Scenario.FAST].total_packets
+        linear = figure.timelines[Scenario.LINEAR].total_packets
+        assert fast > 0.7 * linear
+
+    def test_acr_timeline_window_is_10_minutes(self):
+        spec = ExperimentSpec(Vendor.LG, Country.UK, Scenario.LINEAR,
+                              Phase.LIN_OIN)
+        timeline = acr_timeline(cache.pipeline_for(spec))
+        assert timeline.duration_ns == 10 * 60 * 10 ** 9
+
+
+class TestCdfFigures:
+    def test_curves_nonempty_for_active_scenarios(self):
+        spec = ExperimentSpec(Vendor.SAMSUNG, Country.UK,
+                              Scenario.LINEAR, Phase.LIN_OIN)
+        curve = transmitted_curve(spec)
+        assert curve.total_bytes > 100_000
+
+    def test_lg_transfers_every_15s_samsung_every_60s(self):
+        """Cadence on the fingerprint channel (Samsung's aggregate CDF
+        mixes four endpoints, so the batch cadence is measured on
+        acr-eu-prd alone)."""
+        from repro.analysis import median_step_interval_s
+        lg_curve = transmitted_curve(ExperimentSpec(
+            Vendor.LG, Country.UK, Scenario.LINEAR, Phase.LIN_OIN))
+        samsung_curve = transmitted_curve(
+            ExperimentSpec(Vendor.SAMSUNG, Country.UK, Scenario.LINEAR,
+                           Phase.LIN_OIN),
+            domains=["acr-eu-prd.samsungcloud.tv"])
+        assert 13 <= median_step_interval_s(lg_curve) <= 17
+        assert 50 <= median_step_interval_s(samsung_curve) <= 70
+
+    def test_figure5_has_all_curves(self):
+        figure = figure5()
+        assert len(figure.curves) == 2 * 6 * 2  # vendor x scenario x phase
+
+    def test_login_phases_similar_in_cdf(self):
+        figure = figure5()
+        lin = figure.total_kb(Vendor.LG, Scenario.LINEAR, Phase.LIN_OIN)
+        lout = figure.total_kb(Vendor.LG, Scenario.LINEAR,
+                               Phase.LOUT_OIN)
+        assert lin == pytest.approx(lout, rel=0.25)
+
+
+class TestVolumeTables:
+    def test_table2_shape_matches_paper(self):
+        table = table2()
+        # Every paper row exists and Antenna dominates for LG.
+        assert "eu-acrX.alphonso.tv" in table.domains
+        antenna = table.kilobytes("eu-acrX.alphonso.tv", "Antenna")
+        idle = table.kilobytes("eu-acrX.alphonso.tv", "Idle")
+        assert antenna > 10 * idle
+
+    def test_table2_within_2x_of_paper(self):
+        """Every non-dash paper cell is reproduced within 2x."""
+        table = table2()
+        rows = comparison_rows(table, Country.UK, Phase.LIN_OIN)
+        for domain, scenario, paper, measured in rows:
+            if paper == "-" or measured == "-":
+                continue
+            ratio = float(measured) / float(paper)
+            assert 0.5 <= ratio <= 2.0, \
+                f"{domain}/{scenario}: paper={paper} measured={measured}"
+
+    def test_table4_us_fast_like_antenna(self):
+        table = table4()
+        fast = table.kilobytes("tkacrX.alphonso.tv", "FAST")
+        antenna = table.kilobytes("tkacrX.alphonso.tv", "Antenna")
+        assert fast == pytest.approx(antenna, rel=0.2)
+
+    def test_table4_samsung_silent_cells(self):
+        table = table4()
+        for scenario in ("Idle", "OTT", "Screen Cast"):
+            cell = table.cell("acr-us-prd.samsungcloud.tv", scenario)
+            assert cell is None or not cell.present
+
+
+class TestGeoExperiment:
+    def test_uk_findings(self):
+        experiment = run_geo_experiment(Country.UK)
+        lg_domains = [d for d in experiment.domains
+                      if d.endswith("alphonso.tv")]
+        assert lg_domains
+        for domain in lg_domains:
+            assert experiment.city_of(domain) == "Amsterdam"
+        assert experiment.city_of("log-config.samsungacr.com") == \
+            "New York"
+        assert all(experiment.dpf_ok.values())
+
+    def test_us_endpoints_all_in_us(self):
+        experiment = run_geo_experiment(Country.US)
+        for domain in experiment.domains:
+            assert experiment.country_of(domain) == "US", domain
+
+
+@pytest.mark.parametrize("check", findings_mod.ALL_CHECKS,
+                         ids=lambda c: c.__name__)
+def test_finding_check(check):
+    """Every paper finding (S1-S12) holds on the simulated testbed."""
+    result = check()
+    assert result.passed, f"{result.finding_id}: {result.evidence}"

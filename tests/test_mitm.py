@@ -1,0 +1,160 @@
+"""Tests for the MITM substrate: CA/pinning, proxy, payload inspection,
+and the end-to-end payload audit."""
+
+import json
+
+import pytest
+
+from repro.mitm import (KIND_ACR_BATCH, KIND_JSON_LOG, KIND_KEEPALIVE,
+                        MitmProxy, OPERATOR_CA, PINNED_DOMAINS,
+                        PayloadInspector, PlaintextRecord, TESTBED_CA,
+                        TrustStore, inspect_record, shannon_entropy)
+from repro.acr import FingerprintBatch, capture_state
+from repro.media import PlayState
+
+
+@pytest.fixture(scope="module")
+def library():
+    from repro.testbed import media_library
+    return media_library("uk", 0)
+
+
+def _trusting_store(vendor="lg"):
+    store = TrustStore(vendor)
+    store.install_root(TESTBED_CA)
+    return store
+
+
+class TestTrustStore:
+    def test_operator_cert_accepted_by_default(self):
+        store = TrustStore("lg")
+        cert = OPERATOR_CA.issue("eu-acr1.alphonso.tv")
+        assert store.accepts(cert, "eu-acr1.alphonso.tv")
+
+    def test_forged_cert_rejected_without_installed_ca(self):
+        store = TrustStore("lg")
+        forged = TESTBED_CA.issue("eu-acr1.alphonso.tv")
+        assert not store.accepts(forged, "eu-acr1.alphonso.tv")
+
+    def test_forged_cert_accepted_after_ca_install(self):
+        store = _trusting_store()
+        forged = TESTBED_CA.issue("eu-acr1.alphonso.tv")
+        assert store.accepts(forged, "eu-acr1.alphonso.tv")
+
+    def test_pinned_domain_rejects_forged_even_with_ca(self):
+        store = _trusting_store("samsung")
+        forged = TESTBED_CA.issue("acr-eu-prd.samsungcloud.tv")
+        assert not store.accepts(forged, "acr-eu-prd.samsungcloud.tv")
+        # ...but accepts the genuine operator leaf.
+        genuine = OPERATOR_CA.issue("acr-eu-prd.samsungcloud.tv")
+        assert store.accepts(genuine, "acr-eu-prd.samsungcloud.tv")
+
+    def test_subject_mismatch_rejected(self):
+        store = _trusting_store()
+        cert = TESTBED_CA.issue("other.example")
+        assert not store.accepts(cert, "eu-acr1.alphonso.tv")
+
+    def test_vendor_pin_sets(self):
+        assert "acr-eu-prd.samsungcloud.tv" in PINNED_DOMAINS["samsung"]
+        assert not PINNED_DOMAINS["lg"]
+
+
+class TestProxy:
+    def test_intercepts_unpinned(self):
+        proxy = MitmProxy(_trusting_store("lg"))
+        decrypted = proxy.observe(0, "eu-acr1.alphonso.tv",
+                                  b"request", b"response")
+        assert decrypted
+        assert len(proxy.records) == 2
+        assert proxy.intercepted_domains == ["eu-acr1.alphonso.tv"]
+
+    def test_passthrough_for_pinned(self):
+        proxy = MitmProxy(_trusting_store("samsung"))
+        decrypted = proxy.observe(0, "acr-eu-prd.samsungcloud.tv",
+                                  b"secret", None)
+        assert not decrypted
+        assert proxy.records == []
+        assert proxy.opaque_domains == ["acr-eu-prd.samsungcloud.tv"]
+
+    def test_none_plaintext_not_recorded(self):
+        proxy = MitmProxy(_trusting_store("lg"))
+        proxy.observe(0, "a.acr.example", b"x", None)
+        assert len(proxy.records) == 1
+
+    def test_records_for_filters_domain(self):
+        proxy = MitmProxy(_trusting_store("lg"))
+        proxy.observe(0, "a.acr.example", b"x", None)
+        proxy.observe(1, "b.acr.example", b"y", None)
+        assert len(proxy.records_for("a.acr.example")) == 1
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            PlaintextRecord(0, "x", "sideways", b"")
+
+
+class TestInspection:
+    def test_classifies_acr_batch(self, library):
+        captures = [capture_state(PlayState(library.shows[0], 10.0 + i),
+                                  offset_ns=i * 10_000_000)
+                    for i in range(5)]
+        raw = FingerprintBatch("lg-0000-dev", captures).encode()
+        message = inspect_record(PlaintextRecord(0, "acr.example",
+                                                 "request", raw))
+        assert message.kind == KIND_ACR_BATCH
+        assert message.batch is not None and len(message.batch) == 5
+
+    def test_classifies_json(self):
+        raw = json.dumps({
+            "device": "lg-6c438a63-2963-4aab-91e0-f87be476b447",
+        }).encode()
+        message = inspect_record(PlaintextRecord(0, "x", "request", raw))
+        assert message.kind == KIND_JSON_LOG
+        assert message.identifiers == [
+            "6c438a63-2963-4aab-91e0-f87be476b447"]
+
+    def test_classifies_keepalive(self):
+        message = inspect_record(PlaintextRecord(0, "x", "request",
+                                                 b"ping"))
+        assert message.kind == KIND_KEEPALIVE
+
+    def test_entropy_bounds(self):
+        assert shannon_entropy(b"") == 0.0
+        assert shannon_entropy(b"aaaa") == 0.0
+        assert shannon_entropy(bytes(range(256))) == pytest.approx(8.0)
+
+    def test_inspector_aggregates(self, library):
+        proxy = MitmProxy(_trusting_store("lg"))
+        captures = [capture_state(PlayState(library.shows[0], 10.0 + i),
+                                  offset_ns=i * 10_000_000)
+                    for i in range(5)]
+        proxy.observe(0, "eu-acr1.alphonso.tv",
+                      FingerprintBatch("tv", captures).encode(),
+                      b'{"ack":true}')
+        reports = PayloadInspector(proxy).inspect_all()
+        report = reports["eu-acr1.alphonso.tv"]
+        assert report.carries_fingerprints
+        assert report.total_captures == 5
+        assert report.capture_cadence_ms == pytest.approx(10.0)
+
+
+class TestEndToEndAudit:
+    def test_lg_fully_visible(self):
+        from repro.experiments.mitm_audit import run_mitm_audit
+        from repro.testbed import Vendor
+        audit = run_mitm_audit(Vendor.LG)
+        assert audit.fingerprint_domains  # batches decoded
+        assert audit.fingerprint_domains[0].startswith("eu-acr")
+        assert not audit.opaque_domains
+        assert audit.advertising_id_observed
+        # Payload-level confirmation of LG's 10 ms capture claim.
+        assert audit.capture_cadence_ms == pytest.approx(10.0)
+
+    def test_samsung_fingerprint_channel_pinned(self):
+        from repro.experiments.mitm_audit import run_mitm_audit
+        from repro.testbed import Vendor
+        audit = run_mitm_audit(Vendor.SAMSUNG)
+        assert audit.opaque_domains == ["acr-eu-prd.samsungcloud.tv"]
+        assert not audit.fingerprint_domains  # uploads stay opaque
+        assert audit.advertising_id_observed  # telemetry leaks the adid
+        telemetry = audit.reports["log-ingestion-eu.samsungacr.com"]
+        assert telemetry.kinds.get("json-telemetry", 0) > 50

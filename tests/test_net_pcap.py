@@ -1,0 +1,94 @@
+"""Unit + property tests for the libpcap reader/writer."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import (CapturedPacket, PcapError, PcapReader, PcapWriter,
+                       dump_bytes, load_bytes, load_file, save_file)
+from repro.net.pcap import LINKTYPE_ETHERNET, MAGIC_USEC
+
+
+def _packets(n=5):
+    return [CapturedPacket(i * 1_000_000, bytes([i]) * (20 + i))
+            for i in range(n)]
+
+
+class TestRoundTrip:
+    def test_memory_roundtrip(self):
+        packets = _packets()
+        loaded = load_bytes(dump_bytes(packets))
+        assert len(loaded) == len(packets)
+        for original, copy in zip(packets, loaded):
+            assert copy.data == original.data
+
+    def test_timestamp_microsecond_precision(self):
+        packet = CapturedPacket(1_234_567_890, b"x" * 30)
+        loaded = load_bytes(dump_bytes([packet]))[0]
+        # nanoseconds are truncated to microseconds by the pcap format
+        assert loaded.timestamp == 1_234_567_000
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "capture.pcap")
+        count = save_file(path, _packets(7))
+        assert count == 7
+        assert len(load_file(path)) == 7
+
+    def test_empty_capture(self):
+        assert load_bytes(dump_bytes([])) == []
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=2 ** 40),
+        st.binary(min_size=14, max_size=200)), max_size=20))
+    def test_roundtrip_property(self, items):
+        packets = [CapturedPacket(ts, data) for ts, data in items]
+        loaded = load_bytes(dump_bytes(packets))
+        assert [p.data for p in loaded] == [p.data for p in packets]
+
+
+class TestHeader:
+    def test_magic_and_linktype(self):
+        raw = dump_bytes(_packets(1))
+        magic, = struct.unpack("<I", raw[:4])
+        assert magic == MAGIC_USEC
+        linktype, = struct.unpack("<I", raw[20:24])
+        assert linktype == LINKTYPE_ETHERNET
+
+    def test_writer_counts(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        assert writer.count == 0
+        writer.write_all(_packets(3))
+        assert writer.count == 3
+
+    def test_reader_exposes_version(self):
+        reader = PcapReader(io.BytesIO(dump_bytes([])))
+        assert reader.version == (2, 4)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            load_bytes(b"\x00" * 24)
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapError):
+            load_bytes(b"\xd4\xc3\xb2\xa1")
+
+    def test_truncated_record(self):
+        raw = dump_bytes(_packets(1))
+        with pytest.raises(PcapError):
+            load_bytes(raw[:-5])
+
+    def test_truncated_record_header(self):
+        raw = dump_bytes(_packets(1))
+        # cut into the record header
+        with pytest.raises(PcapError):
+            load_bytes(raw[:24 + 8])
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            CapturedPacket(-1, b"")

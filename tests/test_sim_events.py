@@ -1,0 +1,125 @@
+"""Unit tests for the deterministic event loop."""
+
+import pytest
+
+from repro.sim import EventLoop, seconds
+
+
+class TestScheduling:
+    def test_call_at_executes_in_order(self):
+        loop = EventLoop()
+        order = []
+        loop.call_at(seconds(2), order.append, "b")
+        loop.call_at(seconds(1), order.append, "a")
+        loop.call_at(seconds(3), order.append, "c")
+        loop.run_until(seconds(5))
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        loop = EventLoop()
+        order = []
+        for tag in ("first", "second", "third"):
+            loop.call_at(seconds(1), order.append, tag)
+        loop.run_until(seconds(1))
+        assert order == ["first", "second", "third"]
+
+    def test_call_after_is_relative(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(seconds(1), lambda: loop.call_after(
+            seconds(2), lambda: seen.append(loop.now)))
+        loop.run_until(seconds(10))
+        assert seen == [seconds(3)]
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.call_at(seconds(1), lambda: None)
+        loop.run_until(seconds(2))
+        with pytest.raises(ValueError):
+            loop.call_at(seconds(1), lambda: None)
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.call_after(-1, lambda: None)
+
+
+class TestRunUntil:
+    def test_clock_lands_exactly_on_deadline(self):
+        loop = EventLoop()
+        loop.call_at(seconds(1), lambda: None)
+        loop.run_until(seconds(7))
+        assert loop.now == seconds(7)
+
+    def test_events_after_deadline_stay_queued(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(seconds(10), fired.append, "late")
+        loop.run_until(seconds(5))
+        assert fired == []
+        assert loop.pending == 1
+        loop.run_until(seconds(10))
+        assert fired == ["late"]
+
+    def test_event_exactly_at_deadline_fires(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(seconds(5), fired.append, "edge")
+        loop.run_until(seconds(5))
+        assert fired == ["edge"]
+
+    def test_deadline_in_past_rejected(self):
+        loop = EventLoop()
+        loop.run_until(seconds(2))
+        with pytest.raises(ValueError):
+            loop.run_until(seconds(1))
+
+    def test_executed_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.call_at(seconds(i), lambda: None)
+        loop.run_until(seconds(10))
+        assert loop.executed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.call_at(seconds(1), fired.append, "x")
+        event.cancel()
+        loop.run_until(seconds(2))
+        assert fired == []
+        assert loop.executed == 0
+
+    def test_cancel_from_another_event(self):
+        loop = EventLoop()
+        fired = []
+        victim = loop.call_at(seconds(2), fired.append, "victim")
+        loop.call_at(seconds(1), victim.cancel)
+        loop.run_until(seconds(3))
+        assert fired == []
+
+
+class TestReentrancy:
+    def test_event_scheduling_at_current_time_runs_same_pass(self):
+        loop = EventLoop()
+        order = []
+
+        def chain(n):
+            order.append(n)
+            if n < 3:
+                loop.call_after(0, chain, n + 1)
+
+        loop.call_at(seconds(1), chain, 0)
+        loop.run_until(seconds(1))
+        assert order == [0, 1, 2, 3]
+
+    def test_run_to_completion_drains(self):
+        loop = EventLoop()
+        count = []
+        for i in range(10):
+            loop.call_at(i, count.append, i)
+        loop.run_to_completion()
+        assert len(count) == 10
+        assert loop.pending == 0

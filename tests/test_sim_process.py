@@ -1,0 +1,142 @@
+"""Unit tests for generator-based processes and signals."""
+
+import pytest
+
+from repro.sim import EventLoop, Signal, Sleep, WaitFor, seconds, spawn
+
+
+class TestSleep:
+    def test_periodic_process(self):
+        loop = EventLoop()
+        ticks = []
+
+        def body():
+            while True:
+                yield Sleep(seconds(15))
+                ticks.append(loop.now)
+
+        spawn(loop, body(), name="ticker")
+        loop.run_until(seconds(60))
+        assert ticks == [seconds(15), seconds(30), seconds(45), seconds(60)]
+
+    def test_zero_sleep_resumes_at_same_time(self):
+        loop = EventLoop()
+        times = []
+
+        def body():
+            times.append(loop.now)
+            yield Sleep(0)
+            times.append(loop.now)
+
+        spawn(loop, body())
+        loop.run_until(seconds(1))
+        assert times == [0, 0]
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(-5)
+
+    def test_process_finishes(self):
+        loop = EventLoop()
+
+        def body():
+            yield Sleep(seconds(1))
+
+        proc = spawn(loop, body())
+        loop.run_until(seconds(2))
+        assert proc.finished
+        assert not proc.alive
+
+
+class TestStop:
+    def test_stopped_process_never_resumes(self):
+        loop = EventLoop()
+        ticks = []
+
+        def body():
+            while True:
+                yield Sleep(seconds(1))
+                ticks.append(loop.now)
+
+        proc = spawn(loop, body())
+        loop.run_until(seconds(3))
+        proc.stop()
+        loop.run_until(seconds(10))
+        assert len(ticks) == 3
+        assert proc.stopped and not proc.alive
+
+    def test_stop_before_first_step(self):
+        loop = EventLoop()
+        ran = []
+
+        def body():
+            ran.append(True)
+            yield Sleep(1)
+
+        proc = spawn(loop, body())
+        proc.stop()
+        loop.run_until(seconds(1))
+        assert ran == []
+
+
+class TestSignal:
+    def test_waitfor_receives_fired_value(self):
+        loop = EventLoop()
+        sig = Signal(loop)
+        got = []
+
+        def waiter():
+            value = yield WaitFor(sig)
+            got.append((loop.now, value))
+
+        spawn(loop, waiter())
+        loop.call_at(seconds(2), sig.fire, "payload")
+        loop.run_until(seconds(3))
+        assert got == [(seconds(2), "payload")]
+
+    def test_fire_wakes_all_waiters(self):
+        loop = EventLoop()
+        sig = Signal(loop)
+        woken = []
+
+        def waiter(tag):
+            yield WaitFor(sig)
+            woken.append(tag)
+
+        spawn(loop, waiter("a"))
+        spawn(loop, waiter("b"))
+        loop.call_at(seconds(1), sig.fire)
+        loop.run_until(seconds(2))
+        assert sorted(woken) == ["a", "b"]
+
+    def test_fire_with_no_waiters_returns_zero(self):
+        loop = EventLoop()
+        sig = Signal(loop)
+        assert sig.fire() == 0
+
+    def test_waiter_not_rewoken_by_second_fire(self):
+        loop = EventLoop()
+        sig = Signal(loop)
+        count = []
+
+        def waiter():
+            yield WaitFor(sig)
+            count.append(1)
+
+        spawn(loop, waiter())
+        loop.call_at(seconds(1), sig.fire)
+        loop.call_at(seconds(2), sig.fire)
+        loop.run_until(seconds(3))
+        assert count == [1]
+
+
+class TestErrors:
+    def test_unknown_yield_command_raises(self):
+        loop = EventLoop()
+
+        def body():
+            yield "not-a-command"
+
+        spawn(loop, body())
+        with pytest.raises(TypeError):
+            loop.run_until(seconds(1))

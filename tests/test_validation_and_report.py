@@ -1,0 +1,85 @@
+"""Tests for validation scripts and the EXPERIMENTS.md report generator
+building blocks."""
+
+import pytest
+
+from repro.experiments.report import (cadence_section, cdf_section,
+                                      scorecard_section)
+from repro.experiments.tables_volumes import (PAPER_TABLE2, PAPER_TABLE4,
+                                              paper_reference)
+from repro.sim import minutes
+from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+                           Vendor, run_experiment, validate)
+from repro.testbed.validation import ValidationReport
+
+
+class TestValidationReport:
+    def test_ok_when_no_failures(self):
+        report = ValidationReport("x")
+        report.record("check-a", True)
+        assert report.ok
+        assert report.checks == ["check-a"]
+
+    def test_failure_recorded_with_detail(self):
+        report = ValidationReport("x")
+        report.record("check-a", False, "broke")
+        assert not report.ok
+        assert report.failures == ["check-a: broke"]
+
+    def test_repr_shows_state(self):
+        report = ValidationReport("lg-uk")
+        assert "OK" in repr(report)
+        report.record("c", False)
+        assert "FAILED" in repr(report)
+
+
+class TestValidationOnRealRuns:
+    def test_every_scenario_validates(self):
+        for scenario in Scenario:
+            spec = ExperimentSpec(Vendor.LG, Country.UK, scenario,
+                                  Phase.LIN_OIN, duration_ns=minutes(6))
+            result = run_experiment(spec, seed=1)
+            report = validate(result)
+            assert report.ok, (scenario, report.failures)
+
+    def test_optout_validation_checks_client_silence(self):
+        spec = ExperimentSpec(Vendor.SAMSUNG, Country.UK,
+                              Scenario.LINEAR, Phase.LOUT_OOUT,
+                              duration_ns=minutes(6))
+        result = run_experiment(spec, seed=1)
+        report = validate(result)
+        assert "opted-out-client-silent" in report.checks
+        assert report.ok
+
+
+class TestPaperReferenceData:
+    def test_reference_lookup(self):
+        assert paper_reference(Country.UK, Phase.LIN_OIN) is PAPER_TABLE2
+        assert paper_reference(Country.US, Phase.LIN_OIN) is PAPER_TABLE4
+
+    def test_table2_values_from_paper(self):
+        assert PAPER_TABLE2["eu-acrX.alphonso.tv"][1] == 4759.7
+        assert PAPER_TABLE2["acr-eu-prd.samsungcloud.tv"][0] is None
+
+    def test_every_row_has_six_scenarios(self):
+        for table in (PAPER_TABLE2, PAPER_TABLE4):
+            for domain, values in table.items():
+                assert len(values) == 6, domain
+
+
+class TestReportSections:
+    """Sections render over the shared cache (cells already simulated by
+    other tests in the session where possible)."""
+
+    def test_scorecard_section_all_pass(self):
+        lines = "\n".join(scorecard_section(7))
+        assert "FAIL" not in lines
+        assert "S1" in lines and "S12" in lines
+
+    def test_cdf_section_shows_cadences(self):
+        lines = "\n".join(cdf_section(7))
+        assert "UK" in lines and "US" in lines
+
+    def test_cadence_section_periods(self):
+        lines = "\n".join(cadence_section(7))
+        assert "15" in lines and "60" in lines
