@@ -1,0 +1,21 @@
+# Developer entry points.  Everything runs from the repo root with the
+# sources on PYTHONPATH; no installation step is required.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench bench-grid docs-check report
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) -m pytest benchmarks -q
+
+bench-grid:
+	$(PY) -m pytest benchmarks/bench_grid_runner.py -q
+
+docs-check:
+	$(PY) scripts/docs_check.py
+
+report:
+	$(PY) -m repro.cli report --jobs 4 > EXPERIMENTS.md

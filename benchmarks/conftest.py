@@ -2,13 +2,21 @@
 
 The campaign cache is warmed once per session; benches then measure the
 regeneration (analysis) step over cached captures and print the
-reproduced table/figure next to the paper's values.
+reproduced table/figure next to the paper's values.  The grid result
+cache is pointed at a tempdir location (unless the caller already chose
+one) so benches stay incremental without touching ``~/.cache``.
 """
+
+import os
+import tempfile
 
 import pytest
 
-from repro.experiments import cache
-from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+os.environ.setdefault("REPRO_CACHE_DIR", os.path.join(
+    tempfile.gettempdir(), "repro-acr-test-cache"))
+
+from repro.experiments import cache  # noqa: E402
+from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,  # noqa: E402
                            Vendor)
 
 

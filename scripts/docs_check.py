@@ -1,0 +1,49 @@
+"""Check that docs/cli.md documents every ``repro.cli`` subcommand.
+
+Run via ``make docs-check``.  Each subcommand must have its own
+``### `name` `` heading, so a new CLI command fails this check until the
+reference is updated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+
+def cli_subcommands() -> list:
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    raise SystemExit("repro.cli has no subparsers?")
+
+
+def main() -> int:
+    docs_path = os.path.join(REPO_ROOT, "docs", "cli.md")
+    try:
+        with open(docs_path, "r", encoding="utf-8") as fileobj:
+            text = fileobj.read()
+    except OSError as exc:
+        print(f"docs-check: cannot read {docs_path}: {exc}")
+        return 1
+    commands = cli_subcommands()
+    missing = [command for command in commands
+               if f"### `{command}`" not in text]
+    if missing:
+        print(f"docs-check: docs/cli.md is missing a '### `<name>`' "
+              f"section for: {', '.join(missing)}")
+        return 1
+    print(f"docs-check: all {len(commands)} subcommands documented "
+          f"({', '.join(commands)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

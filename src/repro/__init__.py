@@ -15,7 +15,8 @@ The package is organised as the paper's testbed is:
 * :mod:`repro.testbed` — access point capture and experiment orchestration.
 * :mod:`repro.analysis` — the black-box audit pipeline.
 * :mod:`repro.reporting` — tables, ASCII plots, exports.
-* :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.experiments` — one driver per paper table/figure, plus
+  the parallel grid runner and its on-disk result cache.
 
 Quickstart::
 
@@ -27,7 +28,7 @@ Quickstart::
                           Phase.LIN_OIN)
     result = run_experiment(spec, seed=7)
     audit = AuditPipeline.from_result(result)
-    print(audit.acr_domains())
+    print(audit.acr_candidate_domains())
 """
 
 __version__ = "1.0.0"

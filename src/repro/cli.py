@@ -1,12 +1,13 @@
-"""Command-line interface.
+"""Command-line interface (documented in detail in ``docs/cli.md``).
 
 ::
 
     python -m repro.cli run --vendor lg --country uk --scenario linear \
         --phase LIn-OIn --out capture.pcap
     python -m repro.cli audit capture.pcap
-    python -m repro.cli scorecard
-    python -m repro.cli report > EXPERIMENTS.md
+    python -m repro.cli grid --jobs 4 --filter vendor=lg --filter country=uk
+    python -m repro.cli scorecard --jobs 4
+    python -m repro.cli report --jobs 4 > EXPERIMENTS.md
     python -m repro.cli table 2
 """
 
@@ -14,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from .analysis import AcrDomainAuditor, AuditPipeline
@@ -22,6 +24,13 @@ from .testbed import (Country, ExperimentSpec, Phase, Scenario, Vendor,
                       run_experiment, validate)
 
 _PHASES = {phase.value: phase for phase in Phase}
+
+
+def _add_grid_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for cell execution "
+                          "(1 = serial; results are identical)")
+    cmd.add_argument("--seed", type=int, default=7)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,12 +59,36 @@ def build_parser() -> argparse.ArgumentParser:
                                help="audit a pcap file for ACR traffic")
     audit_cmd.add_argument("pcap", help="path to a capture file")
 
-    sub.add_parser("scorecard",
-                   help="verify all paper findings (S1-S12); slow")
+    grid_cmd = sub.add_parser(
+        "grid",
+        help="run an experiment grid in parallel through the result "
+             "cache")
+    _add_grid_options(grid_cmd)
+    grid_cmd.add_argument(
+        "--filter", action="append", default=[], metavar="AXIS=VALUE[,..]",
+        help="restrict the grid along one axis "
+             "(vendor/country/scenario/phase); repeatable")
+    grid_cmd.add_argument("--minutes", type=int, default=60,
+                          help="simulated minutes per cell")
+    grid_cmd.add_argument("--cache-dir", default=None,
+                          help="result-cache directory "
+                               "(default: $REPRO_CACHE_DIR or "
+                               "~/.cache/repro-acr/grid)")
+    grid_cmd.add_argument("--no-cache", action="store_true",
+                          help="always execute; neither read nor write "
+                               "the cache")
 
-    sub.add_parser("report",
-                   help="print the EXPERIMENTS.md paper-vs-measured "
-                        "report; slow")
+    scorecard_cmd = sub.add_parser(
+        "scorecard",
+        help="verify all paper findings (S1-S12); incremental over the "
+             "grid cache")
+    _add_grid_options(scorecard_cmd)
+
+    report_cmd = sub.add_parser(
+        "report",
+        help="print the EXPERIMENTS.md paper-vs-measured report; "
+             "incremental over the grid cache")
+    _add_grid_options(report_cmd)
 
     table_cmd = sub.add_parser("table",
                                help="regenerate a paper table (2-5)")
@@ -114,10 +147,63 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _cmd_grid(args) -> int:
+    from .experiments import grid as grid_mod
+    from .sim.clock import minutes as minutes_ns
+    try:
+        filters = grid_mod.parse_filters(args.filter)
+        specs = grid_mod.enumerate_cells(
+            filters, duration_ns=minutes_ns(args.minutes))
+    except (grid_mod.GridFilterError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("no cells match the filters", file=sys.stderr)
+        return 1
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir:
+        try:
+            cache = grid_mod.ResultCache(args.cache_dir)
+        except OSError as exc:
+            print(f"error: cannot use cache dir {args.cache_dir}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        # Honors REPRO_CACHE_DIR / REPRO_NO_CACHE and degrades to no
+        # caching when the default location is unwritable.
+        cache = grid_mod.default_cache()
+    runner = grid_mod.GridRunner(seed=args.seed, cache=cache,
+                                 jobs=args.jobs)
+    print(f"grid: {len(specs)} cells x {args.minutes} simulated minutes, "
+          f"seed {args.seed}, {args.jobs} job(s), "
+          f"cache {'off' if cache is None else cache.root}")
+
+    def progress(spec, record):
+        origin = "cached" if record.from_cache \
+            else f"ran {record.elapsed_s:5.1f}s"
+        print(f"  [{origin:>10}] {spec.label}: "
+              f"{record.packet_count} packets")
+
+    started = time.perf_counter()
+    records = runner.run(specs, progress=progress)
+    elapsed = time.perf_counter() - started
+    executed = sum(not record.from_cache for record in records)
+    print(render_table(
+        ["cells", "executed", "cache hits", "packets", "pcap MB",
+         "wall s"],
+        [[len(records), executed, len(records) - executed,
+          sum(record.packet_count for record in records),
+          f"{sum(record.pcap_len for record in records) / 1e6:.1f}",
+          f"{elapsed:.2f}"]],
+        title="grid summary"))
+    return 0
+
+
 def _cmd_scorecard(args) -> int:
     from .experiments import run_all_checks
     failures = 0
-    for check in run_all_checks():
+    for check in run_all_checks(seed=args.seed, jobs=args.jobs):
         state = "PASS" if check.passed else "FAIL"
         print(f"[{state}] {check.finding_id}: {check.description}")
         print(f"       {check.evidence}")
@@ -127,7 +213,7 @@ def _cmd_scorecard(args) -> int:
 
 def _cmd_report(args) -> int:
     from .experiments.report import generate
-    print(generate())
+    print(generate(seed=args.seed, jobs=args.jobs))
     return 0
 
 
@@ -145,6 +231,7 @@ def _cmd_table(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "audit": _cmd_audit,
+    "grid": _cmd_grid,
     "scorecard": _cmd_scorecard,
     "report": _cmd_report,
     "table": _cmd_table,

@@ -1,9 +1,13 @@
-"""Per-figure/table experiment drivers, the findings scorecard, and the
-future-work studies (MITM payloads, ads linkage, blocklist evaluation)."""
+"""Per-figure/table experiment drivers, the findings scorecard, the
+parallel grid runner with its on-disk result cache, and the future-work
+studies (MITM payloads, ads linkage, blocklist evaluation)."""
 
 from . import cache
 from .blocklist_eval import (BlocklistEvaluation, BlocklistTrial,
                              run_evaluation, run_trial)
+from .grid import (CellRecord, GridFilterError, GridResults, GridRunner,
+                   ResultCache, code_version, default_cache_dir,
+                   enumerate_cells, parse_filters)
 from .mitm_audit import MitmAuditResult, run_mitm_audit
 from .fig_cdf import (CdfFigure, build_cdf_figure, figure5, figure7,
                       transmitted_curve)
@@ -17,6 +21,15 @@ from .tables_volumes import (build_table, comparison_rows, paper_reference,
 
 __all__ = [
     "ALL_CHECKS",
+    "CellRecord",
+    "GridFilterError",
+    "GridResults",
+    "GridRunner",
+    "ResultCache",
+    "code_version",
+    "default_cache_dir",
+    "enumerate_cells",
+    "parse_filters",
     "BlocklistEvaluation",
     "BlocklistTrial",
     "CdfFigure",

@@ -1,53 +1,55 @@
-"""Shared campaign cache for the per-figure experiment drivers.
+"""Process-wide :class:`~repro.experiments.grid.GridResults` facade.
 
-Every table and figure draws from the same 6x4x2x2 matrix, so drivers and
-benchmarks share one :class:`~repro.testbed.campaign.CampaignRunner` and a
-memoized :class:`~repro.analysis.pipeline.AuditPipeline` per cell.
+Every table and figure draws from the same 6x4x2x2 matrix, so drivers,
+tests and benchmarks share one grid-results object.  Cells are served
+from memory, then from the content-addressed on-disk cache (see
+:mod:`repro.experiments.grid`), and only then simulated — which is what
+makes ``scorecard`` and ``report`` incremental across invocations.
+
+The legacy helpers (:func:`result_for`, :func:`pipeline_for`,
+:func:`campaign`) remain as thin wrappers so existing callers keep
+working; new code should go through :func:`grid`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..analysis.pipeline import AuditPipeline
 from ..testbed.campaign import CampaignRunner
 from ..testbed.experiment import ExperimentSpec
 from ..testbed.runner import ExperimentResult
+from .grid import DEFAULT_SEED, GridResults
 
-DEFAULT_SEED = 7
+_grid: Optional[GridResults] = None
 
-_campaign: Optional[CampaignRunner] = None
-_pipelines: Dict[str, AuditPipeline] = {}
+
+def grid(seed: int = DEFAULT_SEED) -> GridResults:
+    """The process-wide grid results (created on first use)."""
+    global _grid
+    if _grid is None or _grid.seed != seed:
+        _grid = GridResults(seed=seed)
+    return _grid
 
 
 def campaign(seed: int = DEFAULT_SEED) -> CampaignRunner:
-    """The process-wide campaign runner (created on first use)."""
-    global _campaign
-    if _campaign is None or _campaign.seed != seed:
-        _campaign = CampaignRunner(seed=seed)
-        _pipelines.clear()
-    return _campaign
+    """The grid's in-process campaign runner (full-result memo)."""
+    return grid(seed).campaign
 
 
 def result_for(spec: ExperimentSpec,
                seed: int = DEFAULT_SEED) -> ExperimentResult:
-    """Run (or recall) one cell."""
-    return campaign(seed).run(spec)
+    """Run (or recall) one cell with its ground-truth handles."""
+    return grid(seed).result(spec)
 
 
 def pipeline_for(spec: ExperimentSpec,
                  seed: int = DEFAULT_SEED) -> AuditPipeline:
     """The decoded audit pipeline for one cell, memoized."""
-    key = f"{spec.label}-s{seed}-d{spec.duration_ns}"
-    pipeline = _pipelines.get(key)
-    if pipeline is None:
-        pipeline = AuditPipeline.from_result(result_for(spec, seed))
-        _pipelines[key] = pipeline
-    return pipeline
+    return grid(seed).pipeline(spec)
 
 
 def reset() -> None:
     """Drop all cached runs (tests use this for isolation)."""
-    global _campaign
-    _campaign = None
-    _pipelines.clear()
+    global _grid
+    _grid = None

@@ -56,7 +56,7 @@ def transmitted_curve(spec: ExperimentSpec,
     the vendor's batch cadence is visible); by default every "acr"
     candidate contributes, as in the paper's aggregate CDFs.
     """
-    pipeline = cache.pipeline_for(spec, seed)
+    pipeline = cache.grid(seed).pipeline(spec)
     targets = domains if domains is not None \
         else pipeline.acr_candidate_domains()
     packets = pipeline.packets_for_all(targets)

@@ -73,7 +73,8 @@ def build_figure(vendor: Vendor, country: Country,
     timelines: Dict[Scenario, Timeline] = {}
     for scenario in Scenario:
         spec = ExperimentSpec(vendor, country, scenario, phase)
-        timelines[scenario] = acr_timeline(cache.pipeline_for(spec, seed))
+        timelines[scenario] = acr_timeline(
+            cache.grid(seed).pipeline(spec))
     return TimelineFigure(vendor, country, phase, timelines)
 
 

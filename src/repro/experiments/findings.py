@@ -2,12 +2,15 @@
 
 Each check returns a :class:`FindingCheck` with pass/fail plus the
 measured evidence, so benches can print the whole scorecard and tests can
-assert every shape target from DESIGN.md.
+assert every shape target from DESIGN.md.  Cells are consumed through the
+shared :class:`~repro.experiments.grid.GridResults` API;
+:func:`required_specs` names every cell the scorecard reads so
+``run_all_checks(jobs=N)`` can prefetch them on a process pool.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..analysis.acr_domains import AcrDomainAuditor, no_new_acr_domains
 from ..analysis.compare import (CountryComparison, PhaseComparison,
@@ -19,6 +22,7 @@ from ..testbed.experiment import (Country, ExperimentSpec, Phase, Scenario,
 from . import cache
 from .fig_timelines import build_figure
 from .geolocation import run_geo_experiment
+from .grid import enumerate_cells
 
 
 class FindingCheck:
@@ -39,8 +43,28 @@ class FindingCheck:
 
 
 def _pipe(vendor, country, scenario, phase, seed):
-    return cache.pipeline_for(
-        ExperimentSpec(vendor, country, scenario, phase), seed)
+    return cache.grid(seed).pipeline(
+        ExperimentSpec(vendor, country, scenario, phase))
+
+
+def required_specs() -> List[ExperimentSpec]:
+    """Every cell the S1-S12 checks read (34 of the 96 in the matrix)."""
+    specs: Dict[str, ExperimentSpec] = {}
+    for group in (
+            # S1/S3-S8/S12: Linear in every phase, vendor and country.
+            enumerate_cells({"scenario": {Scenario.LINEAR}}),
+            # S1: HDMI in both opted-in phases.
+            enumerate_cells({"scenario": {Scenario.HDMI},
+                             "phase": {Phase.LIN_OIN, Phase.LOUT_OIN}}),
+            # S9: FAST vs Linear in both countries.
+            enumerate_cells({"scenario": {Scenario.FAST},
+                             "phase": {Phase.LIN_OIN}}),
+            # S2/S11: full UK scenario panels.
+            enumerate_cells({"country": {Country.UK},
+                             "phase": {Phase.LIN_OIN}})):
+        for spec in group:
+            specs.setdefault(spec.label, spec)
+    return list(specs.values())
 
 
 def check_s1_linear_and_hdmi_active(seed: int = cache.DEFAULT_SEED
@@ -309,8 +333,16 @@ ALL_CHECKS: List[Callable[..., FindingCheck]] = [
 ]
 
 
-def run_all_checks(seed: int = cache.DEFAULT_SEED) -> List[FindingCheck]:
-    """The full scorecard."""
+def run_all_checks(seed: int = cache.DEFAULT_SEED,
+                   jobs: Optional[int] = None) -> List[FindingCheck]:
+    """The full scorecard.
+
+    ``jobs > 1`` prefetches every required cell on a process pool (and
+    through the on-disk cache) before the checks read them serially, so
+    the verdicts are identical to a serial run.
+    """
+    if jobs and jobs > 1:
+        cache.grid(seed).ensure(required_specs(), jobs=jobs)
     return [check(seed) for check in ALL_CHECKS]
 
 

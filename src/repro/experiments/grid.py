@@ -1,0 +1,549 @@
+"""Parallel experiment-grid runner with a content-addressed result cache.
+
+The paper's evaluation (Tables 1-5, Figures 4-11, findings S1-S12) is one
+big grid: ``Vendor x Country x Scenario x Phase``.  This module runs that
+grid as a first-class object instead of one cell at a time:
+
+* :func:`enumerate_cells` expands the matrix, optionally restricted by
+  ``axis=value[,value...]`` filters (the CLI's ``--filter``).
+* :class:`GridRunner` executes cells — serially or on a
+  :class:`concurrent.futures.ProcessPoolExecutor` — and memoizes each
+  finished cell in a :class:`ResultCache`.
+* :class:`ResultCache` is a content-addressed on-disk store keyed by
+  ``(spec, seed, code-version)``: captures survive across processes and
+  are invalidated automatically whenever the simulator sources change.
+* :class:`GridResults` is the single API the scorecard, report and the
+  per-figure drivers consume cells through, so warm caches make
+  ``scorecard``/``report`` incremental instead of recomputing everything.
+
+Captures are deterministic in ``(spec, seed)``, so a parallel run is
+byte-identical to a serial one — ``tests/test_grid.py`` asserts it.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+import zlib
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Set, Tuple, Union)
+
+from ..analysis.pipeline import AuditPipeline
+from ..net.addresses import Ipv4Address
+from ..testbed.campaign import CampaignRunner
+from ..testbed.experiment import (Country, DEFAULT_DURATION_NS,
+                                  ExperimentSpec, Phase, Scenario, Vendor)
+from ..testbed.runner import run_experiment
+from ..testbed.validation import validate
+
+DEFAULT_SEED = 7
+
+FILTER_AXES = {
+    "vendor": Vendor,
+    "country": Country,
+    "scenario": Scenario,
+    "phase": Phase,
+}
+
+Filters = Mapping[str, Set]
+ProgressFn = Callable[[ExperimentSpec, "CellRecord"], None]
+
+
+class GridFilterError(ValueError):
+    """A ``--filter`` expression names an unknown axis or value."""
+
+
+class CacheReadError(RuntimeError):
+    """A cached capture could not be read back (corrupt/missing pcap)."""
+
+
+# -- cell enumeration ---------------------------------------------------------
+
+
+def parse_filters(expressions: Optional[Iterable[str]]) -> Dict[str, Set]:
+    """Parse ``axis=value[,value...]`` expressions into enum-value sets.
+
+    Repeated expressions for the same axis union their values::
+
+        parse_filters(["vendor=lg", "scenario=linear,hdmi"])
+    """
+    filters: Dict[str, Set] = {}
+    for expression in expressions or ():
+        if "=" not in expression:
+            raise GridFilterError(
+                f"bad filter {expression!r}: expected axis=value[,value]")
+        axis, __, raw_values = expression.partition("=")
+        axis = axis.strip().lower()
+        enum_cls = FILTER_AXES.get(axis)
+        if enum_cls is None:
+            raise GridFilterError(
+                f"unknown filter axis {axis!r} "
+                f"(choose from {', '.join(sorted(FILTER_AXES))})")
+        chosen = filters.setdefault(axis, set())
+        for value in raw_values.split(","):
+            value = value.strip()
+            try:
+                chosen.add(enum_cls(value))
+            except ValueError:
+                valid = ", ".join(member.value for member in enum_cls)
+                raise GridFilterError(
+                    f"unknown {axis} {value!r} (choose from {valid})") \
+                    from None
+    return filters
+
+
+def enumerate_cells(filters: Union[Filters, Iterable[str], None] = None,
+                    duration_ns: int = DEFAULT_DURATION_NS
+                    ) -> List[ExperimentSpec]:
+    """The (filtered) experiment grid, in deterministic matrix order."""
+    if filters is not None and not isinstance(filters, Mapping):
+        filters = parse_filters(filters)
+    filters = filters or {}
+
+    def keep(axis: str, member) -> bool:
+        chosen = filters.get(axis)
+        return chosen is None or member in chosen
+
+    return [ExperimentSpec(vendor, country, scenario, phase, duration_ns)
+            for vendor in Vendor if keep("vendor", vendor)
+            for country in Country if keep("country", country)
+            for scenario in Scenario if keep("scenario", scenario)
+            for phase in Phase if keep("phase", phase)]
+
+
+# -- code-version fingerprint -------------------------------------------------
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """A digest of every ``repro`` source file, for cache invalidation.
+
+    Any edit to the simulator changes the digest, so stale captures can
+    never satisfy a lookup.  ``REPRO_CODE_VERSION`` overrides the scan
+    (tests use it to exercise invalidation cheaply).
+    """
+    global _code_version
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    if _code_version is None:
+        package_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for directory, __, names in sorted(os.walk(package_root)):
+            for name in sorted(names):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(directory, name)
+                digest.update(os.path.relpath(path, package_root).encode())
+                with open(path, "rb") as fileobj:
+                    digest.update(fileobj.read())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+# -- cell records -------------------------------------------------------------
+
+
+class CellRecord:
+    """One finished grid cell: capture metadata plus its (lazy) pcap."""
+
+    __slots__ = ("label", "seed", "duration_ns", "packet_count",
+                 "pcap_len", "tv_mac", "tv_ip", "device_id", "elapsed_s",
+                 "from_cache", "_pcap_bytes", "_pcap_z", "_pcap_path")
+
+    def __init__(self, label: str, seed: int, duration_ns: int,
+                 packet_count: int, pcap_len: int, tv_mac: str,
+                 tv_ip: str, device_id: str, elapsed_s: float,
+                 from_cache: bool = False,
+                 pcap_bytes: Optional[bytes] = None,
+                 pcap_z: Optional[bytes] = None,
+                 pcap_path: Optional[str] = None) -> None:
+        self.label = label
+        self.seed = seed
+        self.duration_ns = duration_ns
+        self.packet_count = packet_count
+        self.pcap_len = pcap_len
+        self.tv_mac = tv_mac
+        self.tv_ip = tv_ip
+        self.device_id = device_id
+        self.elapsed_s = elapsed_s
+        self.from_cache = from_cache
+        self._pcap_bytes = pcap_bytes
+        self._pcap_z = pcap_z
+        self._pcap_path = pcap_path
+
+    @property
+    def pcap_bytes(self) -> bytes:
+        """The raw capture (decompressed lazily on first access)."""
+        if self._pcap_bytes is None:
+            try:
+                compressed = self._pcap_z
+                if compressed is None:
+                    with open(self._pcap_path, "rb") as fileobj:
+                        compressed = fileobj.read()
+                self._pcap_bytes = zlib.decompress(compressed)
+            except (OSError, zlib.error) as exc:
+                raise CacheReadError(
+                    f"cached capture for {self.label} unreadable: "
+                    f"{exc}") from exc
+        return self._pcap_bytes
+
+    @property
+    def pcap_compressed(self) -> bytes:
+        """The zlib payload (reused so captures are compressed once)."""
+        if self._pcap_z is None:
+            self._pcap_z = zlib.compress(self.pcap_bytes, 1)
+        return self._pcap_z
+
+    def pipeline(self) -> AuditPipeline:
+        """Decode this cell's capture into an audit pipeline."""
+        return AuditPipeline.from_pcap_bytes(
+            self.pcap_bytes, Ipv4Address.parse(self.tv_ip))
+
+    def meta(self) -> Dict:
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "duration_ns": self.duration_ns,
+            "packet_count": self.packet_count,
+            "pcap_len": self.pcap_len,
+            "tv_mac": self.tv_mac,
+            "tv_ip": self.tv_ip,
+            "device_id": self.device_id,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def __repr__(self) -> str:
+        origin = "cache" if self.from_cache else "run"
+        return (f"CellRecord({self.label}, seed={self.seed}, "
+                f"{self.packet_count} packets, {origin})")
+
+
+def record_from_result(result, elapsed_s: float = 0.0) -> CellRecord:
+    """A :class:`CellRecord` view of an in-process ExperimentResult."""
+    return CellRecord(
+        label=result.spec.label, seed=result.seed,
+        duration_ns=result.spec.duration_ns,
+        packet_count=result.packet_count,
+        pcap_len=len(result.pcap_bytes), tv_mac=result.tv_mac,
+        tv_ip=result.tv_ip, device_id=result.device_id,
+        elapsed_s=elapsed_s, pcap_bytes=result.pcap_bytes)
+
+
+# -- the on-disk cache --------------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed store of finished cells.
+
+    The key is a SHA-256 over the canonical ``(spec label, duration,
+    seed, code-version)`` tuple; entries live two levels deep
+    (``<root>/<key[:2]>/<key>.{json,pcap.z}``) so directories stay small
+    even for large grids.
+    """
+
+    def __init__(self, root: str,
+                 version: Optional[str] = None) -> None:
+        self.root = root
+        self.version = version or code_version()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        os.makedirs(root, exist_ok=True)
+
+    def key(self, spec: ExperimentSpec, seed: int) -> str:
+        return self.key_for(spec.label, spec.duration_ns, seed)
+
+    def key_for(self, label: str, duration_ns: int, seed: int) -> str:
+        canonical = json.dumps({
+            "label": label,
+            "duration_ns": duration_ns,
+            "seed": seed,
+            "code_version": self.version,
+        }, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _paths(self, key: str) -> Tuple[str, str]:
+        shard = os.path.join(self.root, key[:2])
+        return (os.path.join(shard, key + ".json"),
+                os.path.join(shard, key + ".pcap.z"))
+
+    def load(self, spec: ExperimentSpec, seed: int) -> Optional[CellRecord]:
+        """Recall one cell, or ``None`` on a miss (or corrupt entry)."""
+        meta_path, pcap_path = self._paths(self.key(spec, seed))
+        try:
+            with open(meta_path, "r", encoding="utf-8") as fileobj:
+                meta = json.load(fileobj)
+            record = CellRecord(from_cache=True, pcap_path=pcap_path,
+                                **meta)
+        except (OSError, ValueError, TypeError):
+            self.misses += 1
+            return None
+        if not os.path.exists(pcap_path):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(self, record: CellRecord) -> None:
+        """Persist one cell (atomic per file: write-then-rename)."""
+        meta_path, pcap_path = self._paths(self.key_for(
+            record.label, record.duration_ns, record.seed))
+        os.makedirs(os.path.dirname(meta_path), exist_ok=True)
+        for path, payload in (
+                (pcap_path, record.pcap_compressed),
+                (meta_path,
+                 json.dumps(record.meta(), indent=2).encode())):
+            temp = path + ".tmp"
+            with open(temp, "wb") as fileobj:
+                fileobj.write(payload)
+            os.replace(temp, path)
+        record._pcap_path = pcap_path
+        self.stores += 1
+
+    def entry_count(self) -> int:
+        return sum(name.endswith(".json")
+                   for __, ___, names in os.walk(self.root)
+                   for name in names)
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({self.root}, {self.entry_count()} entries, "
+                f"hits={self.hits}, misses={self.misses})")
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, else a per-user XDG cache location."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return explicit
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-acr", "grid")
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The process default cache (``REPRO_NO_CACHE=1`` disables it).
+
+    An unwritable cache location degrades to no caching rather than
+    failing the run.
+    """
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    try:
+        return ResultCache(default_cache_dir())
+    except OSError:
+        return None
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def _execute_cell(payload: Tuple) -> Tuple[Dict, bytes]:
+    """Process-pool worker: run one cell, return (meta, compressed pcap).
+
+    Takes and returns only primitives so it pickles cleanly; the heavy
+    ground-truth handles (backend, registry, zone) stay in the worker.
+    """
+    (vendor, country, scenario, phase, duration_ns, seed,
+     validate_results) = payload
+    spec = ExperimentSpec(Vendor(vendor), Country(country),
+                          Scenario(scenario), Phase(phase), duration_ns)
+    started = time.perf_counter()
+    result = run_experiment(spec, seed=seed)
+    if validate_results:
+        report = validate(result)
+        if not report.ok:
+            raise RuntimeError(f"experiment {spec.label} failed "
+                               f"validation: {report.failures}")
+    record = record_from_result(
+        result, elapsed_s=time.perf_counter() - started)
+    return record.meta(), zlib.compress(result.pcap_bytes, 1)
+
+
+def _payload(spec: ExperimentSpec, seed: int,
+             validate_results: bool) -> Tuple:
+    return (spec.vendor.value, spec.country.value, spec.scenario.value,
+            spec.phase.value, spec.duration_ns, seed, validate_results)
+
+
+def warm_assets(specs: Sequence[ExperimentSpec]) -> None:
+    """Pre-build the shared per-country assets in this process.
+
+    Building a reference fingerprint database takes far longer than
+    simulating a cell, but it is memoized per country.  Pool workers are
+    forked from the parent (Linux default), so warming before the fork
+    lets every worker inherit the assets copy-on-write instead of each
+    rebuilding them from scratch.
+    """
+    from ..testbed import assets
+    for country in sorted({spec.country.value for spec in specs}):
+        assets.media_library(country, 0)
+        assets.reference_library(country, 0)
+        assets.linear_channel(country, 0)
+        assets.fast_channel(country, 0)
+    assets.ui_item()
+
+
+class GridRunner:
+    """Execute a set of cells, in parallel, through the result cache."""
+
+    def __init__(self, seed: int = DEFAULT_SEED,
+                 cache: Optional[ResultCache] = None, jobs: int = 1,
+                 validate_results: bool = True) -> None:
+        self.seed = seed
+        self.cache = cache
+        self.jobs = max(1, jobs)
+        self.validate_results = validate_results
+
+    def run(self, specs: Sequence[ExperimentSpec],
+            progress: Optional[ProgressFn] = None) -> List[CellRecord]:
+        """Run every cell (cache hits are recalled, misses executed)."""
+        records: Dict[int, CellRecord] = {}
+        missing: List[Tuple[int, ExperimentSpec]] = []
+        for index, spec in enumerate(specs):
+            cached = self.cache.load(spec, self.seed) if self.cache \
+                else None
+            if cached is not None:
+                records[index] = cached
+                if progress:
+                    progress(spec, cached)
+            else:
+                missing.append((index, spec))
+        if missing:
+            for index, spec, record in self._execute(missing):
+                if self.cache:
+                    self.cache.store(record)
+                records[index] = record
+                if progress:
+                    progress(spec, record)
+        return [records[index] for index in range(len(specs))]
+
+    def _execute(self, missing: List[Tuple[int, ExperimentSpec]]):
+        if self.jobs == 1 or len(missing) == 1:
+            for index, spec in missing:
+                meta, compressed = _execute_cell(
+                    _payload(spec, self.seed, self.validate_results))
+                yield index, spec, self._record(meta, compressed)
+            return
+        workers = min(self.jobs, len(missing))
+        if multiprocessing.get_start_method() == "fork":
+            # Workers inherit warm assets copy-on-write; under spawn
+            # they re-import from scratch, so parent warming would be
+            # pure waste.
+            warm_assets([spec for __, spec in missing])
+        with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+            futures = {
+                pool.submit(_execute_cell, _payload(
+                    spec, self.seed, self.validate_results)):
+                (index, spec)
+                for index, spec in missing}
+            for future in concurrent.futures.as_completed(futures):
+                index, spec = futures[future]
+                meta, compressed = future.result()
+                yield index, spec, self._record(meta, compressed)
+
+    @staticmethod
+    def _record(meta: Dict, compressed: bytes) -> CellRecord:
+        # Keep the worker's compressed payload: the cache stores it
+        # verbatim, and consumers decompress lazily only when they
+        # actually read the capture.
+        return CellRecord(pcap_z=compressed, **meta)
+
+
+# -- the consumer API ---------------------------------------------------------
+
+
+class GridResults:
+    """Single access point for experiment-cell artifacts.
+
+    Every scorecard check, table and figure driver asks this object for
+    cells.  Pipelines are served from memory, then from the on-disk
+    :class:`ResultCache` (no simulation), and only then by running the
+    cell.  Full :class:`~repro.testbed.runner.ExperimentResult` objects
+    (which carry unpicklable ground-truth handles — registry, zone,
+    backend) always come from an in-process
+    :class:`~repro.testbed.campaign.CampaignRunner`.
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED,
+                 cache: Union[ResultCache, None, str] = "default") -> None:
+        self.seed = seed
+        if cache == "default":
+            cache = default_cache()
+        self.cache = cache
+        self.campaign = CampaignRunner(seed=seed)
+        self._records: Dict[Tuple[str, int], CellRecord] = {}
+        self._pipelines: Dict[Tuple[str, int], AuditPipeline] = {}
+
+    def _key(self, spec: ExperimentSpec) -> Tuple[str, int]:
+        return (spec.label, spec.duration_ns)
+
+    def ensure(self, specs: Sequence[ExperimentSpec], jobs: int = 1,
+               progress: Optional[ProgressFn] = None) -> List[CellRecord]:
+        """Prefetch cells (parallel when ``jobs > 1``) into this object."""
+        runner = GridRunner(seed=self.seed, cache=self.cache, jobs=jobs)
+        records = runner.run(specs, progress=progress)
+        for spec, record in zip(specs, records):
+            self._records.setdefault(self._key(spec), record)
+        return records
+
+    def record(self, spec: ExperimentSpec) -> CellRecord:
+        """The capture record for one cell (memo -> disk -> run)."""
+        key = self._key(spec)
+        record = self._records.get(key)
+        if record is None:
+            record = self.cache.load(spec, self.seed) if self.cache \
+                else None
+        if record is None:
+            started = time.perf_counter()
+            result = self.campaign.run(spec)
+            record = record_from_result(
+                result, elapsed_s=time.perf_counter() - started)
+            if self.cache:
+                self.cache.store(record)
+        self._records[key] = record
+        return record
+
+    def pipeline(self, spec: ExperimentSpec) -> AuditPipeline:
+        """The decoded audit pipeline for one cell, memoized.
+
+        A cache entry whose capture turns out to be unreadable (e.g. a
+        pcap damaged on disk) is dropped and the cell re-run, so
+        corruption self-heals instead of poisoning every later run.
+        """
+        key = self._key(spec)
+        pipeline = self._pipelines.get(key)
+        if pipeline is None:
+            try:
+                pipeline = self.record(spec).pipeline()
+            except CacheReadError:
+                self._records.pop(key, None)
+                record = record_from_result(self.campaign.run(spec))
+                if self.cache:
+                    self.cache.store(record)
+                self._records[key] = record
+                pipeline = record.pipeline()
+            self._pipelines[key] = pipeline
+        return pipeline
+
+    def result(self, spec: ExperimentSpec):
+        """The full in-process result (ground-truth handles included)."""
+        result = self.campaign.run(spec)
+        key = self._key(spec)
+        if key not in self._records:
+            record = record_from_result(result)
+            if self.cache:
+                self.cache.store(record)
+            self._records[key] = record
+        return result
+
+    def __repr__(self) -> str:
+        return (f"GridResults(seed={self.seed}, "
+                f"{len(self._records)} records, "
+                f"cache={'on' if self.cache else 'off'})")

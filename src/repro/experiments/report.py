@@ -3,11 +3,17 @@
 Run as a module to regenerate the file from live simulations::
 
     python -m repro.experiments.report > EXPERIMENTS.md
+
+Every section reads cells through the shared
+:class:`~repro.experiments.grid.GridResults` cache;
+``generate(jobs=N)`` (or ``python -m repro.cli report --jobs N``)
+prefetches the full set on a process pool first, and a warm on-disk
+cache makes regeneration incremental.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..analysis import analyze_periodicity, median_step_interval_s
 from ..reporting import render_markdown
@@ -16,7 +22,9 @@ from . import cache
 from .fig_cdf import transmitted_curve
 from .fig_timelines import SCENARIO_LABELS, build_figure
 from .findings import run_all_checks
+from .findings import required_specs as scorecard_specs
 from .geolocation import run_geo_experiment
+from .grid import enumerate_cells
 from .tables_volumes import (SCENARIO_NAMES, build_table, comparison_rows)
 
 _PAPER_TABLE_TITLES = {
@@ -135,12 +143,12 @@ def scorecard_section(seed: int) -> List[str]:
 
 def cadence_section(seed: int) -> List[str]:
     lines = ["## §4.1 cadence findings", ""]
-    lg = cache.pipeline_for(ExperimentSpec(
-        Vendor.LG, Country.UK, Scenario.LINEAR, Phase.LIN_OIN), seed)
+    lg = cache.grid(seed).pipeline(ExperimentSpec(
+        Vendor.LG, Country.UK, Scenario.LINEAR, Phase.LIN_OIN))
     lg_domain = lg.acr_candidate_domains()[0]
     lg_report = analyze_periodicity(lg_domain, lg.packets_for(lg_domain))
-    samsung = cache.pipeline_for(ExperimentSpec(
-        Vendor.SAMSUNG, Country.UK, Scenario.LINEAR, Phase.LIN_OIN), seed)
+    samsung = cache.grid(seed).pipeline(ExperimentSpec(
+        Vendor.SAMSUNG, Country.UK, Scenario.LINEAR, Phase.LIN_OIN))
     samsung_report = analyze_periodicity(
         "acr-eu-prd.samsungcloud.tv",
         samsung.packets_for("acr-eu-prd.samsungcloud.tv"))
@@ -156,8 +164,29 @@ def cadence_section(seed: int) -> List[str]:
     return lines
 
 
-def generate(seed: int = cache.DEFAULT_SEED) -> str:
-    """The full EXPERIMENTS.md content."""
+def required_specs() -> List[ExperimentSpec]:
+    """Every cell the report reads (56 of the 96 in the matrix)."""
+    specs = {}
+    for group in (
+            # Tables 2-5, Figures 4-11 and the CDFs: every scenario in
+            # both opted-in phases.
+            enumerate_cells({"phase": {Phase.LIN_OIN, Phase.LOUT_OIN}}),
+            # The embedded scorecard additionally reads opt-out cells.
+            scorecard_specs()):
+        for spec in group:
+            specs.setdefault(spec.label, spec)
+    return list(specs.values())
+
+
+def generate(seed: int = cache.DEFAULT_SEED,
+             jobs: Optional[int] = None) -> str:
+    """The full EXPERIMENTS.md content.
+
+    ``jobs > 1`` prefetches every cell through the grid runner first;
+    the rendered report is identical to a serial run.
+    """
+    if jobs and jobs > 1:
+        cache.grid(seed).ensure(required_specs(), jobs=jobs)
     lines = [
         "# EXPERIMENTS — paper vs. measured",
         "",

@@ -70,7 +70,7 @@ def build_table(country: Country, phase: Phase,
         merged_packets_domains: List[str] = []
         for vendor in Vendor:
             spec = ExperimentSpec(vendor, country, scenario, phase)
-            pipeline = cache.pipeline_for(spec, seed)
+            pipeline = cache.grid(seed).pipeline(spec)
             merged_packets_domains.extend(pipeline.acr_candidate_domains())
             # Keep the *vendor-specific* pipeline keyed by a compound name
             # so both vendors' rows land in one table.

@@ -8,6 +8,7 @@ exactly the paper's black-box vantage.
 
 from __future__ import annotations
 
+import zlib
 from typing import List, Optional
 
 from ..dnsinfra.resolver import RecursiveResolver
@@ -29,7 +30,11 @@ class AccessPoint:
         self.vantage = vantage
         self.lan_ip = Ipv4Address.parse(AP_LAN_IP)
         self.tv_ip = Ipv4Address.parse(TV_LAN_IP)
-        self.mac: MacAddress = mac_from_seed(0xAABB00 + hash(vantage) % 255)
+        # crc32, not hash(): PYTHONHASHSEED randomizes str hashing per
+        # process, and captures must be byte-identical across processes
+        # for the grid result cache.
+        self.mac: MacAddress = mac_from_seed(
+            0xAABB00 + zlib.crc32(vantage.encode()) % 255)
         self.resolver = RecursiveResolver(zone)
         self.latency = LatencyModel(vantage, rng)
         self.latency.register_server(

@@ -178,6 +178,12 @@ def run_experiment(spec: ExperimentSpec, seed: int = 0,
 
 
 def _tv_mac(spec: ExperimentSpec, seed: int):
+    # Stable across processes (unlike hash(), which PYTHONHASHSEED
+    # randomizes) so cached captures are byte-identical to fresh runs.
+    import hashlib
+
     from ..net.addresses import mac_from_seed
-    return mac_from_seed(hash((spec.vendor.value, seed)) & 0xFFFFFF
+    digest = hashlib.sha256(
+        f"{spec.vendor.value}:{seed}".encode()).digest()
+    return mac_from_seed(int.from_bytes(digest[:3], "big")
                          | 0x020000000000)

@@ -4,13 +4,23 @@ Expensive assets (media libraries, reference fingerprint databases,
 experiment cells) are cached at session scope — and the testbed's own
 ``assets``/``experiments.cache`` layers memoize within the process — so
 the suite builds each one exactly once.
+
+The grid result cache is pointed at a tempdir location (unless the
+caller already chose one) so ``make test`` stays incremental across
+runs without writing into the user's ``~/.cache``.
 """
+
+import os
+import tempfile
 
 import pytest
 
-from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+os.environ.setdefault("REPRO_CACHE_DIR", os.path.join(
+    tempfile.gettempdir(), "repro-acr-test-cache"))
+
+from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,  # noqa: E402
                            Vendor)
-from repro.experiments import cache as experiment_cache
+from repro.experiments import cache as experiment_cache  # noqa: E402
 
 
 @pytest.fixture(scope="session")

@@ -24,6 +24,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_grid_defaults(self):
+        args = build_parser().parse_args(["grid"])
+        assert args.jobs == 1
+        assert args.seed == 7
+        assert args.filter == []
+        assert args.minutes == 60
+        assert not args.no_cache
+        assert args.cache_dir is None
+
+    def test_grid_filters_accumulate(self):
+        args = build_parser().parse_args(
+            ["grid", "--filter", "vendor=lg", "--filter", "country=uk"])
+        assert args.filter == ["vendor=lg", "country=uk"]
+
+    def test_scorecard_and_report_take_grid_options(self):
+        assert build_parser().parse_args(
+            ["scorecard", "--jobs", "4"]).jobs == 4
+        assert build_parser().parse_args(
+            ["report", "--seed", "9"]).seed == 9
+
 
 class TestRunCommand:
     def test_run_and_audit_roundtrip(self, tmp_path, capsys):

@@ -1,0 +1,293 @@
+"""Tests for the parallel grid runner and its content-addressed cache.
+
+Covers the acceptance points of the grid subsystem: cell enumeration
+with filters, cache hit/miss/invalidation (seed and code-version), and
+that a 2-job parallel run is byte-identical to a serial run.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.grid import (CellRecord, GridFilterError,
+                                    GridResults, GridRunner, ResultCache,
+                                    enumerate_cells, parse_filters)
+from repro.sim.clock import minutes
+from repro.testbed import Country, ExperimentSpec, Phase, Scenario, Vendor
+
+SHORT = minutes(6)
+
+
+def short_cells(*expressions):
+    return enumerate_cells(list(expressions), duration_ns=SHORT)
+
+
+class TestEnumeration:
+    def test_full_matrix_is_96_cells(self):
+        cells = enumerate_cells()
+        assert len(cells) == 2 * 2 * 6 * 4
+        assert len({spec.label for spec in cells}) == len(cells)
+
+    def test_order_is_deterministic(self):
+        assert [s.label for s in enumerate_cells()] == \
+            [s.label for s in enumerate_cells()]
+
+    def test_single_axis_filter(self):
+        cells = enumerate_cells(["vendor=lg"])
+        assert len(cells) == 48
+        assert all(spec.vendor is Vendor.LG for spec in cells)
+
+    def test_multi_value_and_multi_axis_filters(self):
+        cells = enumerate_cells(["vendor=lg", "country=uk",
+                                 "scenario=linear,hdmi",
+                                 "phase=LIn-OIn"])
+        assert [spec.label for spec in cells] == \
+            ["lg-uk-linear-LIn-OIn", "lg-uk-hdmi-LIn-OIn"]
+
+    def test_dict_filters_accepted(self):
+        cells = enumerate_cells({"scenario": {Scenario.IDLE},
+                                 "phase": {Phase.LOUT_OOUT}})
+        assert len(cells) == 4
+
+    def test_duration_applies_to_every_cell(self):
+        assert all(spec.duration_ns == SHORT
+                   for spec in short_cells("vendor=lg"))
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(GridFilterError, match="unknown filter axis"):
+            parse_filters(["color=red"])
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(GridFilterError, match="unknown vendor"):
+            parse_filters(["vendor=vizio"])
+
+    def test_malformed_expression_rejected(self):
+        with pytest.raises(GridFilterError, match="expected axis=value"):
+            parse_filters(["vendor"])
+
+    def test_repeated_axis_unions_values(self):
+        filters = parse_filters(["vendor=lg", "vendor=samsung"])
+        assert filters["vendor"] == {Vendor.LG, Vendor.SAMSUNG}
+
+
+def fake_record(spec, seed=5, payload=b"\xd4\xc3\xb2\xa1-fake-pcap"):
+    return CellRecord(
+        label=spec.label, seed=seed, duration_ns=spec.duration_ns,
+        packet_count=3, pcap_len=len(payload), tv_mac="02:00:00:00:00:01",
+        tv_ip="192.168.4.2", device_id="lg-0000", elapsed_s=0.25,
+        pcap_bytes=payload)
+
+
+class TestResultCache:
+    SPEC = ExperimentSpec(Vendor.LG, Country.UK, Scenario.IDLE,
+                          Phase.LIN_OIN, SHORT)
+
+    def test_miss_then_store_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1")
+        assert cache.load(self.SPEC, 5) is None
+        cache.store(fake_record(self.SPEC))
+        loaded = cache.load(self.SPEC, 5)
+        assert loaded is not None
+        assert loaded.from_cache
+        assert loaded.packet_count == 3
+        assert loaded.pcap_bytes == b"\xd4\xc3\xb2\xa1-fake-pcap"
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_seed_change_invalidates(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1")
+        cache.store(fake_record(self.SPEC, seed=5))
+        assert cache.load(self.SPEC, 6) is None
+        assert cache.load(self.SPEC, 5) is not None
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        ResultCache(str(tmp_path), version="v1").store(
+            fake_record(self.SPEC))
+        assert ResultCache(str(tmp_path),
+                           version="v2").load(self.SPEC, 5) is None
+        assert ResultCache(str(tmp_path),
+                           version="v1").load(self.SPEC, 5) is not None
+
+    def test_duration_is_part_of_the_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1")
+        cache.store(fake_record(self.SPEC))
+        longer = ExperimentSpec(Vendor.LG, Country.UK, Scenario.IDLE,
+                                Phase.LIN_OIN, minutes(7))
+        assert cache.load(longer, 5) is None
+
+    def test_corrupt_meta_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1")
+        cache.store(fake_record(self.SPEC))
+        meta_path, __ = cache._paths(cache.key(self.SPEC, 5))
+        with open(meta_path, "w", encoding="utf-8") as fileobj:
+            fileobj.write("{not json")
+        assert cache.load(self.SPEC, 5) is None
+
+    def test_entry_count(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1")
+        assert cache.entry_count() == 0
+        cache.store(fake_record(self.SPEC))
+        assert cache.entry_count() == 1
+
+
+CELLS = ["vendor=lg", "country=uk", "scenario=idle,linear",
+         "phase=LIn-OIn"]
+
+
+class TestGridRunner:
+    def test_serial_run_populates_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        specs = short_cells(*CELLS)
+        records = GridRunner(seed=3, cache=cache).run(specs)
+        assert [r.label for r in records] == [s.label for s in specs]
+        assert all(not r.from_cache for r in records)
+        assert cache.entry_count() == len(specs)
+
+        rerun = GridRunner(seed=3, cache=cache).run(specs)
+        assert all(r.from_cache for r in rerun)
+        for fresh, cached in zip(records, rerun):
+            assert fresh.pcap_bytes == cached.pcap_bytes
+
+    def test_seed_change_reruns(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        specs = short_cells(*CELLS)[:1]
+        GridRunner(seed=3, cache=cache).run(specs)
+        other = GridRunner(seed=4, cache=cache).run(specs)
+        assert all(not r.from_cache for r in other)
+        assert cache.entry_count() == 2
+
+    def test_parallel_matches_serial_byte_for_byte(self):
+        specs = short_cells(*CELLS)
+        serial = GridRunner(seed=3, cache=None, jobs=1).run(specs)
+        parallel = GridRunner(seed=3, cache=None, jobs=2).run(specs)
+        assert [r.label for r in parallel] == [r.label for r in serial]
+        for a, b in zip(serial, parallel):
+            assert a.packet_count == b.packet_count
+            assert a.pcap_bytes == b.pcap_bytes
+
+    def test_progress_callback_sees_every_cell(self, tmp_path):
+        specs = short_cells(*CELLS)
+        seen = []
+        GridRunner(seed=3, cache=ResultCache(str(tmp_path))).run(
+            specs, progress=lambda spec, record: seen.append(spec.label))
+        assert sorted(seen) == sorted(spec.label for spec in specs)
+
+
+class TestGridResults:
+    SPEC = ExperimentSpec(Vendor.LG, Country.UK, Scenario.LINEAR,
+                          Phase.LIN_OIN, SHORT)
+
+    def test_pipeline_from_warm_cache_matches_fresh(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        GridRunner(seed=3, cache=cache).run([self.SPEC])
+
+        warm = GridResults(seed=3, cache=cache)
+        pipeline = warm.pipeline(self.SPEC)
+        assert warm.campaign.runs == 0  # served from disk, no simulation
+
+        fresh = GridResults(seed=3, cache=None).pipeline(self.SPEC)
+        assert pipeline.acr_candidate_domains() == \
+            fresh.acr_candidate_domains()
+        assert pipeline.byte_totals() == fresh.byte_totals()
+
+    def test_ensure_prefetches(self, tmp_path):
+        results = GridResults(seed=3, cache=ResultCache(str(tmp_path)))
+        specs = short_cells(*CELLS)
+        results.ensure(specs, jobs=2)
+        for spec in specs:
+            results.pipeline(spec)
+        assert results.campaign.runs == 0
+
+    def test_corrupt_pcap_self_heals(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        GridRunner(seed=3, cache=cache).run([self.SPEC])
+        __, pcap_path = cache._paths(cache.key(self.SPEC, 3))
+        with open(pcap_path, "wb") as fileobj:
+            fileobj.write(b"garbage, not zlib")
+
+        healed = GridResults(seed=3, cache=cache)
+        pipeline = healed.pipeline(self.SPEC)  # re-runs and re-stores
+        assert healed.campaign.runs == 1
+        assert pipeline.acr_candidate_domains()
+
+        again = GridResults(seed=3, cache=cache)
+        assert again.pipeline(self.SPEC).byte_totals() == \
+            pipeline.byte_totals()
+        assert again.campaign.runs == 0  # repaired entry serves from disk
+
+    def test_capture_identical_across_processes(self, tmp_path):
+        """The cache's core guarantee: a fresh process reproduces the
+        exact capture bytes another process stored (no PYTHONHASHSEED
+        dependence)."""
+        import hashlib
+        import os
+        import subprocess
+        import sys
+
+        spec = ExperimentSpec(Vendor.LG, Country.UK, Scenario.IDLE,
+                              Phase.LIN_OIN, SHORT)
+        record = GridRunner(seed=3, cache=None).run([spec])[0]
+        local_digest = hashlib.sha256(record.pcap_bytes).hexdigest()
+
+        code = (
+            "import hashlib\n"
+            "from repro.experiments.grid import GridRunner, "
+            "enumerate_cells\n"
+            "from repro.sim.clock import minutes\n"
+            "specs = enumerate_cells(['vendor=lg', 'country=uk', "
+            "'scenario=idle', 'phase=LIn-OIn'], "
+            "duration_ns=minutes(6))\n"
+            "record = GridRunner(seed=3, cache=None).run(specs)[0]\n"
+            "print(hashlib.sha256(record.pcap_bytes).hexdigest())\n")
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p)
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              capture_output=True, text=True, check=True)
+        assert proc.stdout.strip() == local_digest
+
+    def test_result_returns_ground_truth_handles(self, tmp_path):
+        results = GridResults(seed=3, cache=ResultCache(str(tmp_path)))
+        result = results.result(self.SPEC)
+        assert result.registry is not None
+        assert result.zone is not None
+        # The capture landed in the disk cache as a side effect.
+        assert results.cache.entry_count() == 1
+
+
+class TestCliGrid:
+    ARGS = ["grid", "--minutes", "6", "--seed", "3",
+            "--filter", "vendor=lg", "--filter", "country=uk",
+            "--filter", "scenario=idle,linear", "--filter",
+            "phase=LIn-OIn"]
+
+    def test_cold_then_warm(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "grid summary" in out
+        assert out.count("[ran") == 2
+
+        assert main(args + ["--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("cached") >= 2
+        assert "[ran" not in out
+
+    def test_no_cache_always_executes(self, capsys):
+        args = ["grid", "--minutes", "6", "--seed", "3",
+                "--filter", "vendor=lg", "--filter", "country=uk",
+                "--filter", "scenario=idle", "--filter",
+                "phase=LIn-OIn", "--no-cache"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert out.count("[ran") == 1
+        assert "cache off" in out
+
+    def test_bad_filter_is_an_error(self, capsys):
+        assert main(["grid", "--filter", "vendor=vizio"]) == 2
+        assert "unknown vendor" in capsys.readouterr().err
+
+    def test_too_short_duration_is_an_error(self, capsys):
+        assert main(["grid", "--minutes", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
