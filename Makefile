@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-grid docs-check report
+.PHONY: test bench bench-grid bench-fleet docs-check report
 
 test:
 	$(PY) -m pytest -x -q
@@ -13,6 +13,9 @@ bench:
 
 bench-grid:
 	$(PY) -m pytest benchmarks/bench_grid_runner.py -q
+
+bench-fleet:
+	$(PY) -m pytest benchmarks/bench_fleet.py -q
 
 docs-check:
 	$(PY) scripts/docs_check.py

@@ -9,6 +9,7 @@
     python -m repro.cli scorecard --jobs 4
     python -m repro.cli report --jobs 4 > EXPERIMENTS.md
     python -m repro.cli table 2
+    python -m repro.cli fleet --households 200 --jobs 8 --mix vendor=lg:1
 """
 
 from __future__ import annotations
@@ -31,6 +32,35 @@ def _add_grid_options(cmd: argparse.ArgumentParser) -> None:
                      help="worker processes for cell execution "
                           "(1 = serial; results are identical)")
     cmd.add_argument("--seed", type=int, default=7)
+
+
+def _add_cache_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--cache-dir", default=None,
+                     help="result-cache directory "
+                          "(default: $REPRO_CACHE_DIR or "
+                          "~/.cache/repro-acr/grid)")
+    cmd.add_argument("--no-cache", action="store_true",
+                     help="always execute; neither read nor write "
+                          "the cache")
+
+
+def _open_cache(args):
+    """The result cache an invocation asked for (shared grid/fleet).
+
+    Returns ``(cache, error_message)``; the cache may be ``None`` both
+    for ``--no-cache`` and for an unwritable default location.
+    """
+    from .experiments import grid as grid_mod
+    if args.no_cache:
+        return None, None
+    if args.cache_dir:
+        try:
+            return grid_mod.ResultCache(args.cache_dir), None
+        except OSError as exc:
+            return None, f"cannot use cache dir {args.cache_dir}: {exc}"
+    # Honors REPRO_CACHE_DIR / REPRO_NO_CACHE and degrades to no
+    # caching when the default location is unwritable.
+    return grid_mod.default_cache(), None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,13 +100,25 @@ def build_parser() -> argparse.ArgumentParser:
              "(vendor/country/scenario/phase); repeatable")
     grid_cmd.add_argument("--minutes", type=int, default=60,
                           help="simulated minutes per cell")
-    grid_cmd.add_argument("--cache-dir", default=None,
-                          help="result-cache directory "
-                               "(default: $REPRO_CACHE_DIR or "
-                               "~/.cache/repro-acr/grid)")
-    grid_cmd.add_argument("--no-cache", action="store_true",
-                          help="always execute; neither read nor write "
-                               "the cache")
+    _add_cache_options(grid_cmd)
+
+    fleet_cmd = sub.add_parser(
+        "fleet",
+        help="simulate and audit a population of households with "
+             "streaming aggregation")
+    fleet_cmd.add_argument("--households", type=int, default=100,
+                           help="population size (default 100)")
+    fleet_cmd.add_argument(
+        "--mix", action="append", default=[],
+        metavar="AXIS=VALUE:WEIGHT[,..]",
+        help="population mix for one axis "
+             "(vendor/country/phase/diary), e.g. "
+             "vendor=lg:3,samsung:1; repeatable; unset axes keep the "
+             "default mix")
+    fleet_cmd.add_argument("--out", default=None,
+                           help="also write the report to this path")
+    _add_grid_options(fleet_cmd)
+    _add_cache_options(fleet_cmd)
 
     scorecard_cmd = sub.add_parser(
         "scorecard",
@@ -160,19 +202,10 @@ def _cmd_grid(args) -> int:
     if not specs:
         print("no cells match the filters", file=sys.stderr)
         return 1
-    if args.no_cache:
-        cache = None
-    elif args.cache_dir:
-        try:
-            cache = grid_mod.ResultCache(args.cache_dir)
-        except OSError as exc:
-            print(f"error: cannot use cache dir {args.cache_dir}: {exc}",
-                  file=sys.stderr)
-            return 2
-    else:
-        # Honors REPRO_CACHE_DIR / REPRO_NO_CACHE and degrades to no
-        # caching when the default location is unwritable.
-        cache = grid_mod.default_cache()
+    cache, cache_error = _open_cache(args)
+    if cache_error:
+        print(f"error: {cache_error}", file=sys.stderr)
+        return 2
     runner = grid_mod.GridRunner(seed=args.seed, cache=cache,
                                  jobs=args.jobs)
     print(f"grid: {len(specs)} cells x {args.minutes} simulated minutes, "
@@ -197,6 +230,46 @@ def _cmd_grid(args) -> int:
           f"{sum(record.pcap_len for record in records) / 1e6:.1f}",
           f"{elapsed:.2f}"]],
         title="grid summary"))
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from . import fleet as fleet_mod
+    try:
+        mixes = fleet_mod.parse_mix(args.mix)
+        population = fleet_mod.PopulationSpec(
+            args.households, seed=args.seed, mixes=mixes)
+    except (fleet_mod.MixError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache, cache_error = _open_cache(args)
+    if cache_error:
+        print(f"error: {cache_error}", file=sys.stderr)
+        return 2
+    runner = fleet_mod.FleetRunner(cache=cache, jobs=args.jobs)
+    # Progress and timing go to stderr: the stdout report is a pure
+    # function of (population, seed) — byte-identical across --jobs.
+    print(f"fleet: {args.households} households, seed {args.seed}, "
+          f"{args.jobs} job(s), "
+          f"cache {'off' if cache is None else cache.root}",
+          file=sys.stderr)
+
+    def progress(done, total, executed, cached):
+        print(f"  shard {done}/{total} "
+              f"({executed} executed, {cached} cached)",
+              file=sys.stderr)
+
+    result = runner.run(population, progress=progress)
+    print(f"fleet done in {result.elapsed_s:.1f}s "
+          f"({result.executed} executed, {result.cached} cached)",
+          file=sys.stderr)
+    report = fleet_mod.render_population_report(result.aggregate,
+                                                population)
+    print(report, end="")
+    if args.out:
+        from .util import atomic_write_text
+        atomic_write_text(args.out, report)
+        print(f"wrote {args.out}", file=sys.stderr)
     return 0
 
 
@@ -232,6 +305,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "audit": _cmd_audit,
     "grid": _cmd_grid,
+    "fleet": _cmd_fleet,
     "scorecard": _cmd_scorecard,
     "report": _cmd_report,
     "table": _cmd_table,

@@ -34,7 +34,8 @@ from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
 
 from ..analysis.pipeline import AuditPipeline
 from ..net.addresses import Ipv4Address
-from ..testbed.campaign import CampaignRunner
+from ..testbed.campaign import CampaignRunner, cell_key
+from ..util import atomic_write_bytes
 from ..testbed.experiment import (Country, DEFAULT_DURATION_NS,
                                   ExperimentSpec, Phase, Scenario, Vendor)
 from ..testbed.runner import run_experiment
@@ -261,12 +262,9 @@ class ResultCache:
         return self.key_for(spec.label, spec.duration_ns, seed)
 
     def key_for(self, label: str, duration_ns: int, seed: int) -> str:
-        canonical = json.dumps({
-            "label": label,
-            "duration_ns": duration_ns,
-            "seed": seed,
-            "code_version": self.version,
-        }, sort_keys=True)
+        # One canonical cell identity (shared with CampaignRunner via
+        # cell_key), salted with the code version for invalidation.
+        canonical = f"{cell_key(label, seed, duration_ns)}:{self.version}"
         return hashlib.sha256(canonical.encode()).hexdigest()
 
     def _paths(self, key: str) -> Tuple[str, str]:
@@ -276,7 +274,13 @@ class ResultCache:
 
     def load(self, spec: ExperimentSpec, seed: int) -> Optional[CellRecord]:
         """Recall one cell, or ``None`` on a miss (or corrupt entry)."""
-        meta_path, pcap_path = self._paths(self.key(spec, seed))
+        return self.load_for(spec.label, spec.duration_ns, seed)
+
+    def load_for(self, label: str, duration_ns: int,
+                 seed: int) -> Optional[CellRecord]:
+        """Label-addressed recall (fleet households have no spec)."""
+        meta_path, pcap_path = self._paths(
+            self.key_for(label, duration_ns, seed))
         try:
             with open(meta_path, "r", encoding="utf-8") as fileobj:
                 meta = json.load(fileobj)
@@ -300,10 +304,7 @@ class ResultCache:
                 (pcap_path, record.pcap_compressed),
                 (meta_path,
                  json.dumps(record.meta(), indent=2).encode())):
-            temp = path + ".tmp"
-            with open(temp, "wb") as fileobj:
-                fileobj.write(payload)
-            os.replace(temp, path)
+            atomic_write_bytes(path, payload)
         record._pcap_path = pcap_path
         self.stores += 1
 
@@ -372,7 +373,8 @@ def _payload(spec: ExperimentSpec, seed: int,
             spec.phase.value, spec.duration_ns, seed, validate_results)
 
 
-def warm_assets(specs: Sequence[ExperimentSpec]) -> None:
+def warm_assets(specs: Sequence[ExperimentSpec] = (),
+                countries: Iterable[str] = ()) -> None:
     """Pre-build the shared per-country assets in this process.
 
     Building a reference fingerprint database takes far longer than
@@ -380,9 +382,14 @@ def warm_assets(specs: Sequence[ExperimentSpec]) -> None:
     forked from the parent (Linux default), so warming before the fork
     lets every worker inherit the assets copy-on-write instead of each
     rebuilding them from scratch.
+
+    Callers name the countries either through ``specs`` (grid cells) or
+    directly via ``countries`` (the fleet runner, which has households
+    rather than specs).
     """
     from ..testbed import assets
-    for country in sorted({spec.country.value for spec in specs}):
+    for country in sorted({spec.country.value for spec in specs}
+                          | set(countries)):
         assets.media_library(country, 0)
         assets.reference_library(country, 0)
         assets.linear_channel(country, 0)

@@ -1,0 +1,113 @@
+"""Viewing diaries: multi-scenario household sessions.
+
+The paper's cells run one scenario for one hour.  Real households do not
+— an evening is idle → linear → OTT → cast.  A :class:`Diary` composes
+several of the paper's scenarios into one session; the testbed's
+:func:`~repro.testbed.runner.run_session` drives the segments through a
+single capture, switching the input source at each boundary.
+
+Diaries are archetypes, not per-household scripts: a household's diary
+is *which* archetype it follows (sampled from the population's diary
+mix), and all per-household variation comes from the derived household
+seed, which perturbs every random stream in the session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..sim.clock import minutes
+from ..testbed.experiment import Scenario
+from ..testbed.runner import session_duration_ns
+
+
+class Segment:
+    """One diary entry: a scenario held for a dwell time."""
+
+    __slots__ = ("scenario", "dwell_ns")
+
+    def __init__(self, scenario: Scenario, dwell_ns: int) -> None:
+        if dwell_ns <= 0:
+            raise ValueError("segment dwell must be positive")
+        self.scenario = scenario
+        self.dwell_ns = int(dwell_ns)
+
+    def __repr__(self) -> str:
+        return (f"Segment({self.scenario.value}, "
+                f"{self.dwell_ns / 60e9:.0f}m)")
+
+
+class Diary:
+    """A named sequence of segments one household plays through."""
+
+    __slots__ = ("name", "segments")
+
+    def __init__(self, name: str, segments: Sequence[Segment]) -> None:
+        if not segments:
+            raise ValueError("diary needs at least one segment")
+        self.name = name
+        self.segments = list(segments)
+
+    @property
+    def duration_ns(self) -> int:
+        """Total session duration — delegated to the testbed runner so
+        the fleet cache key can never disagree with the simulation."""
+        return session_duration_ns(self.as_runner_segments())
+
+    @property
+    def scenarios(self) -> List[Scenario]:
+        return [segment.scenario for segment in self.segments]
+
+    def as_runner_segments(self) -> List[Tuple[Scenario, int]]:
+        """The ``(Scenario, dwell_ns)`` pairs ``run_session`` consumes."""
+        return [(segment.scenario, segment.dwell_ns)
+                for segment in self.segments]
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(s.scenario.value for s in self.segments)
+        return f"Diary({self.name}: {chain})"
+
+
+def _diary(name: str, *entries: Tuple[Scenario, int]) -> Diary:
+    return Diary(name, [Segment(scenario, dwell_ns)
+                        for scenario, dwell_ns in entries])
+
+
+#: The built-in archetypes.  Dwells are deliberately shorter than the
+#: paper's one-hour cells so population-scale fleets stay tractable; the
+#: ACR loops they exercise have second-scale cadences, so every segment
+#: is long enough to show its scenario's steady-state behaviour.
+DIARIES: Dict[str, Diary] = {
+    diary.name: diary for diary in (
+        _diary("ambient",
+               (Scenario.LINEAR, minutes(16))),
+        _diary("binge",
+               (Scenario.IDLE, minutes(2)),
+               (Scenario.OTT, minutes(14))),
+        _diary("evening_mix",
+               (Scenario.IDLE, minutes(2)),
+               (Scenario.LINEAR, minutes(6)),
+               (Scenario.OTT, minutes(6)),
+               (Scenario.SCREEN_CAST, minutes(4))),
+        _diary("console_gamer",
+               (Scenario.IDLE, minutes(2)),
+               (Scenario.HDMI, minutes(12))),
+        _diary("channel_surfer",
+               (Scenario.LINEAR, minutes(5)),
+               (Scenario.FAST, minutes(5)),
+               (Scenario.LINEAR, minutes(4))),
+        _diary("second_screen",
+               (Scenario.IDLE, minutes(3)),
+               (Scenario.SCREEN_CAST, minutes(9))),
+    )
+}
+
+
+def diary_named(name: str) -> Diary:
+    """Look up a diary archetype; raise with the valid names on miss."""
+    try:
+        return DIARIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown diary {name!r} "
+            f"(choose from {', '.join(sorted(DIARIES))})") from None

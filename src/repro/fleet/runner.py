@@ -1,0 +1,208 @@
+"""Sharded fleet execution over the grid's process pool and result cache.
+
+A fleet run is embarrassingly parallel: each household session is a pure
+function of ``(household label, derived seed)``.  The runner
+
+* partitions households into fixed-size shards whose boundaries depend
+  only on N (never on ``--jobs``), so the fold structure — fold within a
+  shard, merge shards in index order — is identical however many workers
+  execute it, and the aggregate report is byte-identical across job
+  counts;
+* executes shards on a :class:`~concurrent.futures.ProcessPoolExecutor`
+  after :func:`~repro.experiments.grid.warm_assets` builds the shared
+  per-country assets pre-fork;
+* memoizes each household capture in the content-addressed
+  :class:`~repro.experiments.grid.ResultCache` (keyed by household
+  label, diary duration and derived seed), so a repeated or *grown*
+  fleet only simulates new households;
+* folds each household's audit into a
+  :class:`~repro.fleet.aggregate.FleetAggregate` inside the worker and
+  returns only the shard aggregate — captures never cross the process
+  boundary and parent memory stays constant in N.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import time
+from typing import Callable, List, Optional, Tuple
+
+from ..analysis.pipeline import AuditPipeline
+from ..experiments.grid import (CacheReadError, ResultCache,
+                                record_from_result, warm_assets)
+from ..net.addresses import Ipv4Address
+from ..testbed.runner import run_session
+from ..testbed.validation import validate_session
+from .aggregate import FleetAggregate, merge_all, summarize_household
+from .population import HouseholdSpec, PopulationSpec
+
+#: Households per shard.  Fixed (not derived from --jobs) so the shard
+#: partition — and therefore the fold/merge structure — depends only on
+#: the population, which is what makes reports job-count invariant.
+SHARD_SIZE = 16
+
+ProgressFn = Callable[[int, int, int, int], None]
+
+
+class FleetRunError(RuntimeError):
+    """A household session failed validation."""
+
+
+def _audit_household(household: HouseholdSpec,
+                     cache: Optional[ResultCache],
+                     validate_results: bool) -> Tuple[dict, bool]:
+    """Run (or recall) one household and reduce it to a summary.
+
+    Returns ``(summary, executed)``.  A cached capture that turns out to
+    be unreadable is dropped and the household re-run, mirroring the
+    grid's self-healing behaviour.
+    """
+    diary = household.diary_obj
+    record = cache.load_for(household.label, diary.duration_ns,
+                            household.seed) if cache else None
+    executed = False
+    if record is not None:
+        try:
+            record.pcap_bytes
+        except CacheReadError:
+            record = None
+    if record is None:
+        result = run_session(
+            household.vendor, household.country, household.phase,
+            diary.as_runner_segments(), seed=household.seed,
+            label=household.label)
+        if validate_results:
+            report = validate_session(result, diary.scenarios)
+            if not report.ok:
+                raise FleetRunError(
+                    f"household {household.label} (seed "
+                    f"{household.seed}) failed validation: "
+                    f"{report.failures}")
+        record = record_from_result(result)
+        record.label = household.label
+        executed = True
+        if cache:
+            cache.store(record)
+    pipeline = AuditPipeline.from_pcap_bytes(
+        record.pcap_bytes, Ipv4Address.parse(record.tv_ip))
+    summary = summarize_household(household, pipeline,
+                                  record.packet_count, record.pcap_len)
+    # Drop the heavy objects before the next household: the aggregate
+    # keeps only the summary's integers.
+    del pipeline, record
+    return summary, executed
+
+
+def _run_shard(payload) -> Tuple[FleetAggregate, int, int]:
+    """Pool worker: audit one shard, return its merged aggregate.
+
+    Takes only primitives (household tuples + cache coordinates) and
+    returns the shard's :class:`FleetAggregate` plus executed/cached
+    counts — never a capture.
+    """
+    household_tuples, cache_root, cache_version, validate_results = \
+        payload
+    cache = ResultCache(cache_root, version=cache_version) \
+        if cache_root else None
+    aggregate = FleetAggregate()
+    executed = cached = 0
+    for values in household_tuples:
+        household = HouseholdSpec.from_tuple(values)
+        summary, ran = _audit_household(household, cache,
+                                        validate_results)
+        aggregate.fold(summary)
+        if ran:
+            executed += 1
+        else:
+            cached += 1
+    return aggregate, executed, cached
+
+
+class FleetResult:
+    """Outcome of one fleet run: the aggregate plus execution stats."""
+
+    __slots__ = ("aggregate", "households", "shards", "executed",
+                 "cached", "elapsed_s")
+
+    def __init__(self, aggregate: FleetAggregate, households: int,
+                 shards: int, executed: int, cached: int,
+                 elapsed_s: float) -> None:
+        self.aggregate = aggregate
+        self.households = households
+        self.shards = shards
+        self.executed = executed
+        self.cached = cached
+        self.elapsed_s = elapsed_s
+
+    def __repr__(self) -> str:
+        return (f"FleetResult({self.households} households in "
+                f"{self.shards} shards, {self.executed} executed, "
+                f"{self.cached} cached, {self.elapsed_s:.1f}s)")
+
+
+class FleetRunner:
+    """Execute a population, sharded, through the result cache."""
+
+    def __init__(self, cache: Optional[ResultCache] = None, jobs: int = 1,
+                 shard_size: int = SHARD_SIZE,
+                 validate_results: bool = True) -> None:
+        if shard_size <= 0:
+            raise ValueError("shard size must be positive")
+        self.cache = cache
+        self.jobs = max(1, jobs)
+        self.shard_size = shard_size
+        self.validate_results = validate_results
+
+    def _payloads(self, population: PopulationSpec) -> List[Tuple]:
+        cache_root = self.cache.root if self.cache else None
+        cache_version = self.cache.version if self.cache else None
+        households = [household.as_tuple() for household in population]
+        return [
+            (tuple(households[start:start + self.shard_size]),
+             cache_root, cache_version, self.validate_results)
+            for start in range(0, len(households), self.shard_size)]
+
+    def run(self, population: PopulationSpec,
+            progress: Optional[ProgressFn] = None) -> FleetResult:
+        """Audit every household; constant parent memory in N."""
+        started = time.perf_counter()
+        payloads = self._payloads(population)
+        shard_outputs: List[Optional[Tuple[FleetAggregate, int, int]]] = \
+            [None] * len(payloads)
+
+        if self.jobs == 1 or len(payloads) == 1:
+            for index, payload in enumerate(payloads):
+                shard_outputs[index] = _run_shard(payload)
+                self._report(progress, shard_outputs)
+        else:
+            workers = min(self.jobs, len(payloads))
+            if multiprocessing.get_start_method() == "fork":
+                # Same pre-fork warm-up the grid runner does: workers
+                # inherit the per-country reference libraries
+                # copy-on-write instead of each rebuilding them.
+                warm_assets(countries=population.countries())
+            with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                futures = {
+                    pool.submit(_run_shard, payload): index
+                    for index, payload in enumerate(payloads)}
+                for future in concurrent.futures.as_completed(futures):
+                    shard_outputs[futures[future]] = future.result()
+                    self._report(progress, shard_outputs)
+
+        aggregate = merge_all(output[0] for output in shard_outputs)
+        executed = sum(output[1] for output in shard_outputs)
+        cached = sum(output[2] for output in shard_outputs)
+        return FleetResult(aggregate, population.households,
+                           len(payloads), executed, cached,
+                           time.perf_counter() - started)
+
+    @staticmethod
+    def _report(progress: Optional[ProgressFn],
+                shard_outputs: List) -> None:
+        if progress is None:
+            return
+        done = [output for output in shard_outputs if output is not None]
+        progress(len(done), len(shard_outputs),
+                 sum(output[1] for output in done),
+                 sum(output[2] for output in done))

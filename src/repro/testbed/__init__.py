@@ -11,8 +11,9 @@ from .experiment import (Country, DEFAULT_DURATION_NS, ExperimentSpec,
                          Phase, POWER_ON_AT_NS, Scenario,
                          SCENARIO_START_NS, Vendor, full_matrix,
                          phase_pair, scenario_sweep)
-from .runner import ExperimentResult, build_source, run_experiment
-from .validation import ValidationReport, validate
+from .runner import (ExperimentResult, build_source, run_experiment,
+                     run_session)
+from .validation import ValidationReport, validate, validate_session
 
 __all__ = [
     "AccessPoint",
@@ -38,7 +39,9 @@ __all__ = [
     "phase_pair",
     "reference_library",
     "run_experiment",
+    "run_session",
     "scenario_sweep",
     "ui_item",
     "validate",
+    "validate_session",
 ]

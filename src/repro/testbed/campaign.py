@@ -13,9 +13,21 @@ import os
 import tempfile
 from typing import Callable, Dict, List, Optional
 
+from ..util import atomic_write_bytes, atomic_write_text
 from .experiment import ExperimentSpec, full_matrix
 from .runner import ExperimentResult, run_experiment
 from .validation import validate
+
+
+def cell_key(label: str, seed: int, duration_ns: int) -> str:
+    """The canonical ``label-seed-duration`` cell key.
+
+    Every cache layer (the campaign's in-memory/artifact memo and the
+    grid's content-addressed :class:`~repro.experiments.grid.ResultCache`)
+    identifies a finished capture by this one string, so the layers can
+    never disagree about what "the same cell" means.
+    """
+    return f"{label}-s{seed}-d{duration_ns}"
 
 
 class CampaignRunner:
@@ -35,7 +47,7 @@ class CampaignRunner:
     # -- cache keys -------------------------------------------------------------
 
     def _key(self, spec: ExperimentSpec) -> str:
-        return f"{spec.label}-s{self.seed}-d{spec.duration_ns}"
+        return cell_key(spec.label, self.seed, spec.duration_ns)
 
     def _pcap_path(self, spec: ExperimentSpec) -> Optional[str]:
         if not self.artifact_dir:
@@ -61,8 +73,9 @@ class CampaignRunner:
                     f"{report.failures}")
         path = self._pcap_path(spec)
         if path:
-            with open(path, "wb") as fileobj:
-                fileobj.write(result.pcap_bytes)
+            # Atomic (write-then-rename, matching ResultCache.store): a
+            # crashed run never leaves a readable partial capture.
+            atomic_write_bytes(path, result.pcap_bytes)
             self._write_metadata(spec, result)
         self._memory[key] = result
         return result
@@ -95,8 +108,7 @@ class CampaignRunner:
             "device_id": result.device_id,
             "actions": [[t, a] for t, a in result.action_log],
         }
-        with open(path, "w", encoding="utf-8") as fileobj:
-            json.dump(metadata, fileobj, indent=2)
+        atomic_write_text(path, json.dumps(metadata, indent=2))
 
     def evict(self, spec: ExperimentSpec) -> None:
         """Drop one cell from the in-memory cache (pcap on disk remains)."""

@@ -5,11 +5,17 @@ the smart plug (boot DNS burst), trigger the scenario through the remote,
 run for the experiment duration, power off, stop capture.  The output is a
 real pcap plus the out-of-band handles (backend, registry) that only our
 white-box reproduction can offer.
+
+:func:`run_experiment` drives the paper's single-scenario cells;
+:func:`run_session` drives a multi-segment *viewing diary* (e.g. idle →
+linear → OTT → cast) through the same workflow, switching the input
+source at each segment boundary inside one capture.  The fleet layer
+builds on the latter.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..acr.server import AcrBackend
 from ..dnsinfra.registry import DomainRegistry
@@ -87,6 +93,22 @@ def build_source(spec: ExperimentSpec, seed: int) -> InputSource:
     raise ValueError(f"unhandled scenario: {spec.scenario}")
 
 
+Segment = Tuple[Scenario, int]
+SESSION_TAIL_NS = seconds(30)
+
+
+def session_duration_ns(segments: Sequence[Segment]) -> int:
+    """Total capture duration for a multi-segment session.
+
+    The single source of truth for lead-in + dwells + tail: the fleet
+    layer keys its capture cache on this value, so it must always agree
+    with what :func:`run_session` actually simulates.
+    """
+    return (SCENARIO_START_NS
+            + sum(dwell_ns for __, dwell_ns in segments)
+            + SESSION_TAIL_NS)
+
+
 def run_experiment(spec: ExperimentSpec, seed: int = 0,
                    registry: Optional[DomainRegistry] = None,
                    mitm: bool = False,
@@ -102,7 +124,61 @@ def run_experiment(spec: ExperimentSpec, seed: int = 0,
     listed names at the AP resolver — the Pi-hole/Blokada intervention
     whose effectiveness the blocklist evaluation measures.
     """
-    rng = RngRegistry(seed).fork(spec.label)
+    return _run_workflow(
+        spec, seed, spec.label,
+        [(SCENARIO_START_NS, build_source(spec, seed))],
+        registry=registry, mitm=mitm, dns_blocklist=dns_blocklist)
+
+
+def run_session(vendor: Vendor, country, phase, segments: Sequence[Segment],
+                seed: int = 0, label: Optional[str] = None,
+                registry: Optional[DomainRegistry] = None,
+                mitm: bool = False,
+                dns_blocklist=None) -> ExperimentResult:
+    """Drive a multi-segment viewing session through one capture.
+
+    ``segments`` is a sequence of ``(Scenario, dwell_ns)`` pairs; the
+    remote switches the input source at each segment boundary, so a
+    single household session composes several of the paper's scenarios
+    (idle → linear → OTT → ...).  The capture runs from power-on through
+    every segment plus a short tail, and — like single-cell experiments
+    — is a pure function of ``(vendor, country, phase, segments, seed)``.
+
+    ``label`` names the session's RNG universe (the fleet layer passes
+    the household label); it defaults to a name derived from the segment
+    scenarios so distinct diaries never share random streams.
+    """
+    segments = list(segments)
+    if not segments:
+        raise ValueError("session needs at least one segment")
+    for __, dwell_ns in segments:
+        if dwell_ns <= 0:
+            raise ValueError("segment dwell must be positive")
+    duration_ns = session_duration_ns(segments)
+    spec = ExperimentSpec(vendor, country, segments[0][0], phase,
+                          duration_ns)
+    rng_label = label or (
+        f"{vendor.value}-{country.value}-"
+        + "+".join(scenario.value for scenario, __ in segments)
+        + f"-{phase.value}")
+    plan: List[Tuple[int, InputSource]] = []
+    at_ns = SCENARIO_START_NS
+    for scenario, dwell_ns in segments:
+        segment_spec = ExperimentSpec(vendor, country, scenario, phase,
+                                      duration_ns)
+        plan.append((at_ns, build_source(segment_spec, seed)))
+        at_ns += dwell_ns
+    return _run_workflow(spec, seed, rng_label, plan, registry=registry,
+                         mitm=mitm, dns_blocklist=dns_blocklist)
+
+
+def _run_workflow(spec: ExperimentSpec, seed: int, rng_label: str,
+                  source_plan: Sequence[Tuple[int, InputSource]],
+                  registry: Optional[DomainRegistry] = None,
+                  mitm: bool = False,
+                  dns_blocklist=None) -> ExperimentResult:
+    """The §3.2 workflow over an arbitrary source schedule."""
+    rng = RngRegistry(seed).fork(rng_label)
     loop = EventLoop()
     registry = registry or DomainRegistry()
     zone = Zone(registry)
@@ -150,11 +226,11 @@ def run_experiment(spec: ExperimentSpec, seed: int = 0,
 
     plug = SmartPlug(loop, tv)
     remote = RemoteControl(loop, tv)
-    source = build_source(spec, seed)
 
     ap.start_capture()
     plug.power_on_at(POWER_ON_AT_NS)
-    remote.select_source_at(SCENARIO_START_NS, source)
+    for at_ns, source in source_plan:
+        remote.select_source_at(at_ns, source)
     plug.power_off_at(spec.duration_ns - seconds(1))
     loop.run_until(spec.duration_ns)
     packets: List[CapturedPacket] = ap.stop_capture()

@@ -39,10 +39,16 @@ class ValidationReport:
         return f"ValidationReport({self.label}, {state})"
 
 
-def validate(result: ExperimentResult) -> ValidationReport:
-    """Run every check against one experiment result."""
-    report = ValidationReport(result.spec.label)
+_EXPECTED_SOURCE = {
+    Scenario.IDLE: "home", Scenario.LINEAR: "tuner",
+    Scenario.FAST: "fast", Scenario.OTT: "ott",
+    Scenario.HDMI: "hdmi", Scenario.SCREEN_CAST: "cast",
+}
 
+
+def _workflow_checks(report: ValidationReport,
+                     result: ExperimentResult) -> None:
+    """The scenario-independent checks shared by cells and sessions."""
     report.record("capture-nonempty", result.packet_count > 0,
                   "no packets captured")
 
@@ -66,24 +72,55 @@ def validate(result: ExperimentResult) -> ValidationReport:
     report.record("boot-burst", len(early) > 0,
                   "no traffic within 10s of power-on")
 
-    scenario_actions = [label for __, label in result.action_log
-                        if label.startswith("select-source")]
-    report.record("scenario-triggered", len(scenario_actions) == 1,
-                  f"actions: {result.action_log}")
 
-    expected_source = {
-        Scenario.IDLE: "home", Scenario.LINEAR: "tuner",
-        Scenario.FAST: "fast", Scenario.OTT: "ott",
-        Scenario.HDMI: "hdmi", Scenario.SCREEN_CAST: "cast",
-    }[result.spec.scenario]
-    report.record(
-        "correct-source", scenario_actions == [
-            f"select-source:{expected_source}"],
-        f"got {scenario_actions}")
-
+def _optout_check(report: ValidationReport,
+                  result: ExperimentResult) -> None:
     if result.spec.phase in (Phase.LIN_OOUT, Phase.LOUT_OOUT):
         report.record("opted-out-client-silent",
                       result.acr_stats.full_batches == 0
                       and result.acr_stats.beacons == 0,
                       f"acr stats: {result.acr_stats}")
+
+
+def _scenario_actions(result: ExperimentResult) -> List[str]:
+    return [label for __, label in result.action_log
+            if label.startswith("select-source")]
+
+
+def validate(result: ExperimentResult) -> ValidationReport:
+    """Run every check against one experiment result."""
+    report = ValidationReport(result.spec.label)
+    _workflow_checks(report, result)
+
+    scenario_actions = _scenario_actions(result)
+    report.record("scenario-triggered", len(scenario_actions) == 1,
+                  f"actions: {result.action_log}")
+
+    expected_source = _EXPECTED_SOURCE[result.spec.scenario]
+    report.record(
+        "correct-source", scenario_actions == [
+            f"select-source:{expected_source}"],
+        f"got {scenario_actions}")
+
+    _optout_check(report, result)
+    return report
+
+
+def validate_session(result: ExperimentResult,
+                     scenarios: List[Scenario]) -> ValidationReport:
+    """Validate a multi-segment (diary) session capture.
+
+    Same workflow checks as :func:`validate`, but the remote is expected
+    to have triggered one source switch per segment, in diary order.
+    """
+    report = ValidationReport(result.spec.label)
+    _workflow_checks(report, result)
+
+    expected = [f"select-source:{_EXPECTED_SOURCE[scenario]}"
+                for scenario in scenarios]
+    report.record("segments-triggered",
+                  _scenario_actions(result) == expected,
+                  f"got {_scenario_actions(result)}, want {expected}")
+
+    _optout_check(report, result)
     return report

@@ -144,11 +144,23 @@ class SmartTV(AcrTransport):
 
     # -- source selection ---------------------------------------------------------
 
+    _SOURCE_LOOPS = ("ott-stream", "cast-stream")
+
     def select_source(self, source: InputSource) -> None:
-        """Switch input; starts source-coupled traffic (OTT/cast)."""
+        """Switch input; (re)starts source-coupled traffic (OTT/cast).
+
+        Switching away from an OTT app or an active cast stops its
+        stream loop — leaving it running would keep phantom media
+        traffic flowing through later segments of a multi-segment
+        session.
+        """
         self.current_source = source
         if not self.powered:
             return
+        for process in self._processes:
+            if process.name in self._SOURCE_LOOPS:
+                process.stop()
+        self._processes = [p for p in self._processes if p.alive]
         if source.source_type is SourceType.OTT:
             self._spawn(self._ott_stream_loop(source), "ott-stream")
         elif source.source_type is SourceType.CAST:

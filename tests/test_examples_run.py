@@ -16,6 +16,7 @@ EXAMPLES = [
     "examples/cross_country_audit.py",
     "examples/mitm_payload_audit.py",
     "examples/ad_personalization_linkage.py",
+    "examples/fleet_audit.py",
 ]
 
 
