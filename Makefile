@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-grid bench-fleet docs-check report
+.PHONY: test bench bench-grid bench-fleet bench-json docs-check report
 
 test:
 	$(PY) -m pytest -x -q
@@ -16,6 +16,11 @@ bench-grid:
 
 bench-fleet:
 	$(PY) -m pytest benchmarks/bench_fleet.py -q
+
+# Codec hot-path trajectory: microbenches + a reduced-grid end-to-end
+# cell, written to BENCH_4.json so future PRs can regress-check.
+bench-json:
+	$(PY) scripts/bench_report.py --out BENCH_4.json
 
 docs-check:
 	$(PY) scripts/docs_check.py

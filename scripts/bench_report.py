@@ -1,0 +1,119 @@
+"""Measure the codec hot path and emit a ``BENCH_<n>.json`` trajectory
+point.
+
+Run via ``make bench-json``.  The report captures the three hot-path
+microbenches (seed-vs-fast checksum, full-vs-lazy decode,
+object-vs-template encode) plus a reduced-grid end-to-end measurement
+(one cell simulated cold, then decoded into an audit pipeline), so every
+PR can be regression-checked against the committed trajectory: a future
+change that erodes a speedup shows up as a smaller ratio in its
+``BENCH_<n+1>.json`` diff.
+
+Wall times are machine-dependent; the *ratios* are what the trajectory
+pins.  The microbench ratios are also asserted as floors by
+``benchmarks/bench_net_hotpath.py`` in the tier-1-adjacent bench suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)
+
+os.environ.setdefault("REPRO_NO_CACHE", "1")  # cold by construction
+
+from benchmarks.bench_net_hotpath import (measure_checksum,  # noqa: E402
+                                          measure_decode, measure_encode,
+                                          measure_pcap_load)
+
+
+def _entry(slow_s: float, fast_s: float) -> dict:
+    return {
+        "seed_s": round(slow_s, 6),
+        "fast_s": round(fast_s, 6),
+        "speedup": round(slow_s / fast_s, 2) if fast_s else None,
+    }
+
+
+def microbenches() -> dict:
+    checksum = measure_checksum()
+    decode = measure_decode()
+    encode = measure_encode()
+    return {
+        "checksum_1460B_x2000": _entry(*checksum),
+        "decode_3000_packets": _entry(*decode),
+        "encode_3000_frames": _entry(*encode),
+        "pcap_load_3000_packets_s": round(measure_pcap_load(), 6),
+    }
+
+
+def end_to_end(minutes: int) -> dict:
+    """One cold cell: simulate (template encode) then audit (lazy
+    decode).  Assets are warmed first so the numbers isolate the codec
+    path the way the grid/fleet runners see it."""
+    from repro.analysis import AuditPipeline
+    from repro.experiments.grid import warm_assets
+    from repro.net.addresses import Ipv4Address
+    from repro.sim.clock import minutes as minutes_ns
+    from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
+                               Vendor, run_experiment)
+
+    spec = ExperimentSpec(Vendor.LG, Country.UK, Scenario.LINEAR,
+                          Phase.LIN_OIN, duration_ns=minutes_ns(minutes))
+    warm_assets([spec])
+    started = time.perf_counter()
+    result = run_experiment(spec, seed=7)
+    encode_s = time.perf_counter() - started
+    started = time.perf_counter()
+    pipeline = AuditPipeline.from_pcap_bytes(
+        result.pcap_bytes, Ipv4Address.parse(result.tv_ip))
+    decode_s = time.perf_counter() - started
+    return {
+        "spec": spec.label,
+        "simulated_minutes": minutes,
+        "packets": result.packet_count,
+        "pcap_bytes": len(result.pcap_bytes),
+        "simulate_s": round(encode_s, 3),
+        "audit_decode_s": round(decode_s, 3),
+        "acr_domains": pipeline.acr_candidate_domains(),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="emit the codec hot-path benchmark JSON")
+    parser.add_argument("--out", default="BENCH_4.json",
+                        help="output path (default BENCH_4.json)")
+    parser.add_argument("--minutes", type=int, default=10,
+                        help="simulated minutes for the end-to-end cell "
+                             "(default 10; CI uses the default reduced "
+                             "grid)")
+    parser.add_argument("--skip-e2e", action="store_true",
+                        help="microbenches only")
+    args = parser.parse_args()
+
+    report = {
+        "suite": "net-hotpath",
+        "python": platform.python_version(),
+        "microbench": microbenches(),
+    }
+    if not args.skip_e2e:
+        report["end_to_end"] = end_to_end(args.minutes)
+
+    payload = json.dumps(report, indent=2) + "\n"
+    with open(args.out, "w", encoding="utf-8") as fileobj:
+        fileobj.write(payload)
+    print(payload, end="")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

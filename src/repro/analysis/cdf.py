@@ -76,7 +76,7 @@ def cumulative_bytes(packets: Sequence[DecodedPacket],
         if not start_ns <= packet.timestamp < end_ns:
             continue
         if sent_only_from is not None:
-            if packet.ip is None or packet.ip.src != sent_only_from:
+            if packet.src_ip != sent_only_from:
                 continue
         points.append(((packet.timestamp - start_ns) / NS_PER_SECOND,
                        packet.length))

@@ -3,32 +3,43 @@
 This is the reproduction of the paper's Analysis Scripts.  Everything here
 works from the capture alone — packets and the DNS answers inside them —
 never from simulator ground truth, preserving the black-box vantage.
+
+The pipeline is the single decode of a capture: pcap bytes are parsed
+once through the lazy tier (:func:`repro.net.packet.lazy_decode_all` —
+flow keys and lengths from fixed-offset header slices, full object
+decode only where a packet's payload is actually read, i.e. DNS), and
+every consumer — flow table, DNS map, per-domain index, table/figure/
+finding drivers — shares the resulting indexed view instead of
+re-decoding.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..net.addresses import Ipv4Address
 from ..net.flow import FlowTable
-from ..net.packet import DecodedPacket, decode_all
+from ..net.packet import DecodedPacket, lazy_decode_all
 from ..net.pcap import load_bytes
 from .dns_map import DnsMap
 
 
 class AuditPipeline:
-    """Decoded capture + DNS map + per-domain packet index."""
+    """Decoded capture + DNS map + flow table + per-domain packet index."""
 
-    def __init__(self, packets: List[DecodedPacket],
+    def __init__(self, packets: Sequence[DecodedPacket],
                  tv_ip: Ipv4Address) -> None:
         self.packets = packets
         self.tv_ip = tv_ip
+        # Two passes over the shared views: the DNS map must be complete
+        # before packets are labelled (answers name the IPs that later
+        # traffic contacts), then flows and the domain index fill in one
+        # combined sweep.
         self.dns_map = DnsMap().observe_all(packets)
         self.flows = FlowTable()
-        self.flows.add_all(packets)
         self._by_domain: Dict[str, List[DecodedPacket]] = defaultdict(list)
-        self._index_by_domain()
+        self._index(packets)
 
     # -- constructors -----------------------------------------------------------
 
@@ -36,7 +47,7 @@ class AuditPipeline:
     def from_pcap_bytes(cls, raw: bytes,
                         tv_ip: Optional[Ipv4Address] = None
                         ) -> "AuditPipeline":
-        packets = decode_all(load_bytes(raw))
+        packets = lazy_decode_all(load_bytes(raw))
         if tv_ip is None:
             tv_ip = infer_tv_ip(packets)
         return cls(packets, tv_ip)
@@ -50,24 +61,26 @@ class AuditPipeline:
     # -- indexing ----------------------------------------------------------------
 
     def _remote_ip(self, packet: DecodedPacket) -> Optional[Ipv4Address]:
-        if packet.ip is None:
-            return None
-        if packet.ip.src == self.tv_ip:
-            return packet.ip.dst
-        if packet.ip.dst == self.tv_ip:
-            return packet.ip.src
+        if packet.src_ip == self.tv_ip:
+            return packet.dst_ip
+        if packet.dst_ip == self.tv_ip:
+            return packet.src_ip
         return None
 
-    def _index_by_domain(self) -> None:
-        for packet in self.packets:
+    def _index(self, packets: Sequence[DecodedPacket]) -> None:
+        add_flow = self.flows.add
+        label_of = self.dns_map.label
+        by_domain = self._by_domain
+        for packet in packets:
+            add_flow(packet)
             remote = self._remote_ip(packet)
             if remote is None:
                 continue
             if remote.is_private:
                 label = f"lan:{remote}"
             else:
-                label = self.dns_map.label(remote)
-            self._by_domain[label].append(packet)
+                label = label_of(remote)
+            by_domain[label].append(packet)
 
     # -- queries ------------------------------------------------------------------
 
@@ -96,7 +109,12 @@ class AuditPipeline:
 
     def bytes_sent_to(self, domain: str) -> int:
         return sum(p.length for p in self._by_domain.get(domain, ())
-                   if p.ip is not None and p.ip.src == self.tv_ip)
+                   if p.src_ip == self.tv_ip)
+
+    def upload_timestamps(self, domains: List[str]) -> List[int]:
+        """Sorted capture times of TV-originated packets to ``domains``."""
+        return sorted(p.timestamp for p in self.packets_for_all(domains)
+                      if p.src_ip == self.tv_ip)
 
     def byte_totals(self) -> Dict[str, int]:
         return {domain: self.bytes_for(domain)
@@ -114,14 +132,12 @@ class AuditPipeline:
                 f"{len(self.contacted_domains)} domains)")
 
 
-def infer_tv_ip(packets: List[DecodedPacket]) -> Ipv4Address:
+def infer_tv_ip(packets: Sequence[DecodedPacket]) -> Ipv4Address:
     """The device under audit is the most talkative private address."""
     counter: Counter = Counter()
     for packet in packets:
-        if packet.ip is None:
-            continue
-        for address in (packet.ip.src, packet.ip.dst):
-            if address.is_private:
+        for address in (packet.src_ip, packet.dst_ip):
+            if address is not None and address.is_private:
                 counter[address] += 1
     if not counter:
         raise ValueError("no private addresses in capture")

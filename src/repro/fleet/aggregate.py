@@ -42,10 +42,7 @@ def summarize_household(household, pipeline: AuditPipeline,
     acr_bytes = sum(pipeline.bytes_for(domain) for domain in domains)
     upload = sum(pipeline.bytes_sent_to(domain) for domain in domains)
 
-    uploads_ts = sorted(
-        packet.timestamp
-        for packet in pipeline.packets_for_all(domains)
-        if packet.ip is not None and packet.ip.src == pipeline.tv_ip)
+    uploads_ts = pipeline.upload_timestamps(domains)
     burst_starts: List[int] = []
     previous = None
     for timestamp in uploads_ts:

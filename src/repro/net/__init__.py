@@ -12,12 +12,13 @@ from .ethernet import EthernetFrame
 from .flow import Flow, FlowTable, canonical_key
 from .ip import Ipv4Packet
 from .link import LatencyModel
-from .packet import (CapturedPacket, DecodedPacket, decode_all,
-                     decode_packet)
+from .packet import (CapturedPacket, DecodedPacket, LazyPacket, decode_all,
+                     decode_packet, lazy_decode, lazy_decode_all)
 from .pcap import (PcapError, PcapReader, PcapWriter, dump_bytes, load_bytes,
                    load_file, save_file)
 from .stack import HostStack, TlsSession
 from .tcp import TcpSegment
+from .template import TcpFrameTemplate
 from .tls import TlsRecord, extract_sni
 from .udp import UdpDatagram
 
@@ -36,10 +37,12 @@ __all__ = [
     "Ipv4Network",
     "Ipv4Packet",
     "LatencyModel",
+    "LazyPacket",
     "MacAddress",
     "PcapError",
     "PcapReader",
     "PcapWriter",
+    "TcpFrameTemplate",
     "TcpSegment",
     "TlsRecord",
     "TlsSession",
@@ -49,6 +52,8 @@ __all__ = [
     "decode_packet",
     "dump_bytes",
     "extract_sni",
+    "lazy_decode",
+    "lazy_decode_all",
     "load_bytes",
     "load_file",
     "mac_from_seed",

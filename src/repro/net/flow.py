@@ -16,16 +16,22 @@ FlowKey = Tuple[Ipv4Address, int, Ipv4Address, int, str]
 
 
 def canonical_key(packet: DecodedPacket) -> Optional[FlowKey]:
-    """Direction-independent flow key, lower endpoint first."""
-    if packet.ip is None:
+    """Direction-independent flow key, lower endpoint first.
+
+    Works on either decode tier — only the flat ``src_ip``/``dst_ip``/
+    port/``flow_proto`` attributes are read, so a
+    :class:`~repro.net.packet.LazyPacket` never has to build its object
+    layers just to be keyed.
+    """
+    proto = packet.flow_proto
+    if proto is None:
         return None
-    proto = "tcp" if packet.tcp else ("udp" if packet.udp else "ip")
     if packet.src_port is None or packet.dst_port is None:
-        a = (packet.ip.src, 0)
-        b = (packet.ip.dst, 0)
+        a = (packet.src_ip, 0)
+        b = (packet.dst_ip, 0)
     else:
-        a = (packet.ip.src, packet.src_port)
-        b = (packet.ip.dst, packet.dst_port)
+        a = (packet.src_ip, packet.src_port)
+        b = (packet.dst_ip, packet.dst_port)
     if (a[0].value, a[1]) <= (b[0].value, b[1]):
         return (a[0], a[1], b[0], b[1], proto)
     return (b[0], b[1], a[0], a[1], proto)
@@ -75,7 +81,7 @@ class Flow:
 
     def add(self, packet: DecodedPacket) -> None:
         a_ip, a_port = self.endpoint_a
-        from_a = (packet.ip is not None and packet.ip.src == a_ip
+        from_a = (packet.src_ip == a_ip
                   and (packet.src_port or 0) == a_port)
         if from_a:
             self.packets_ab += 1

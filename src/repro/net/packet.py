@@ -1,15 +1,26 @@
-"""Captured-packet model and full-stack decode helpers.
+"""Captured-packet model and the two decode tiers.
 
 A :class:`CapturedPacket` is what the access point's tap records: a
-timestamp plus raw Ethernet bytes.  :func:`decode_packet` re-parses those
-bytes into a :class:`DecodedPacket` view — the analysis pipeline only ever
-sees decoded views of raw captures, mirroring the paper's
-capture-then-analyze workflow.
+timestamp plus raw Ethernet bytes.  Two views re-parse those bytes:
+
+* :func:`decode_packet` — the full tier: constructs
+  Ethernet/IP/TCP/UDP/DNS objects, validating as it goes.
+* :func:`lazy_decode` — the fast tier: precompiled fixed-offset header
+  slicing that yields the flow key (addresses, ports, protocol) and
+  lengths without building any per-layer object.  Full decode is
+  deferred to the packets that need it (DNS payloads parse on first
+  ``.dns`` access; ``.ip``/``.tcp``/``.udp``/``.eth`` delegate to a
+  memoized full decode).
+
+The analysis pipeline only ever sees decoded views of raw captures,
+mirroring the paper's capture-then-analyze workflow; the lazy tier is
+what lets it decode population-scale captures once, cheaply.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import struct
+from typing import Dict, List, Optional
 
 from .addresses import Ipv4Address, MacAddress
 from .dns import DnsMessage
@@ -83,6 +94,15 @@ class DecodedPacket:
         return None
 
     @property
+    def flow_proto(self) -> Optional[str]:
+        """Flow-table protocol discriminator (None for non-IP)."""
+        if self.tcp:
+            return "tcp"
+        if self.udp:
+            return "udp"
+        return "ip" if self.ip else None
+
+    @property
     def transport_payload(self) -> bytes:
         if self.tcp:
             return self.tcp.payload
@@ -121,6 +141,172 @@ def decode_packet(packet: CapturedPacket,
             except ValueError:
                 decoded.dns = None
     return decoded
+
+
+_PROTO_NAMES = {PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+
+# Fixed-offset header fields for the lazy tier, relative to frame start:
+# Ethernet ethertype, then the IPv4 fields the flow key needs, then the
+# transport ports (TCP and UDP both lead with source/destination port).
+_IP_FIXED = struct.Struct("!HHxxBBxx4s4s")  # total_len, id.. from offset 16
+_PORTS = struct.Struct("!HH")
+
+_MISSING = object()
+
+
+class LazyPacket:
+    """Flow-level view of a captured packet without per-layer objects.
+
+    Parses only the fixed-offset header fields (ethertype, IPv4
+    addresses/protocol, transport ports) at construction; everything
+    deeper is deferred.  ``.dns`` parses the DNS payload in place for
+    UDP port-53 packets, and the object-layer attributes (``ip``,
+    ``tcp``, ``udp``, ``eth``) fall back to a memoized
+    :func:`decode_packet`, so a lazy capture is drop-in compatible with
+    a fully decoded one — consumers just stay fast when they only touch
+    the flow key.  Keeps the full tier's failure surface: a frame that
+    claims IPv4 but is malformed or truncated (e.g. snaplen-clipped
+    records) raises ``ValueError`` exactly like ``Ipv4Packet.decode``,
+    rather than silently vanishing from the flow analysis.
+    """
+
+    __slots__ = ("timestamp", "data", "length", "src_ip", "dst_ip",
+                 "src_port", "dst_port", "proto", "_ihl", "_dns", "_full")
+
+    def __init__(self, timestamp: int, data: bytes,
+                 intern: Optional[Dict[bytes, Ipv4Address]] = None) -> None:
+        self.timestamp = timestamp
+        self.data = data
+        self.length = len(data)
+        self.src_ip: Optional[Ipv4Address] = None
+        self.dst_ip: Optional[Ipv4Address] = None
+        self.src_port: Optional[int] = None
+        self.dst_port: Optional[int] = None
+        self.proto: Optional[int] = None
+        self._ihl = 0
+        self._dns = _MISSING
+        self._full: Optional[DecodedPacket] = None
+        if len(data) < 14:
+            raise ValueError(f"frame too short: {len(data)} bytes")
+        if data[12:14] != b"\x08\x00":
+            return
+        # The frame claims IPv4: validate like the full tier so bad
+        # frames (including snaplen-truncated records) fail loudly
+        # instead of silently dropping out of the analysis.
+        if len(data) < 34:
+            raise ValueError(f"IPv4 packet too short: {len(data) - 14} "
+                             f"bytes")
+        if data[14] & 0xF0 != 0x40:
+            raise ValueError(f"not IPv4: version={data[14] >> 4}")
+        ihl = (data[14] & 0x0F) * 4
+        if ihl < 20 or len(data) - 14 < ihl:
+            raise ValueError(f"bad IHL: {ihl}")
+        (total_length, __, __, proto,
+         src_raw, dst_raw) = _IP_FIXED.unpack_from(data, 16)
+        if 14 + total_length > len(data):
+            raise ValueError(
+                f"truncated packet: header says {total_length}, "
+                f"buffer has {len(data) - 14}")
+        self._ihl = ihl
+        self.proto = proto
+        if intern is not None:
+            src = intern.get(src_raw)
+            if src is None:
+                src = intern[src_raw] = Ipv4Address.from_bytes(src_raw)
+            dst = intern.get(dst_raw)
+            if dst is None:
+                dst = intern[dst_raw] = Ipv4Address.from_bytes(dst_raw)
+        else:
+            src = Ipv4Address.from_bytes(src_raw)
+            dst = Ipv4Address.from_bytes(dst_raw)
+        self.src_ip = src
+        self.dst_ip = dst
+        if proto in _PROTO_NAMES and len(data) >= 14 + ihl + 4:
+            self.src_port, self.dst_port = _PORTS.unpack_from(data, 14 + ihl)
+
+    @property
+    def flow_proto(self) -> Optional[str]:
+        """Flow-table protocol discriminator (None for non-IP)."""
+        if self.src_ip is None:
+            return None
+        return _PROTO_NAMES.get(self.proto, "ip")
+
+    @property
+    def full(self) -> DecodedPacket:
+        """The fully decoded object view (memoized)."""
+        if self._full is None:
+            self._full = decode_packet(
+                CapturedPacket(self.timestamp, self.data))
+        return self._full
+
+    @property
+    def eth(self) -> EthernetFrame:
+        return self.full.eth
+
+    @property
+    def ip(self) -> Optional[Ipv4Packet]:
+        return self.full.ip
+
+    @property
+    def tcp(self) -> Optional[TcpSegment]:
+        return self.full.tcp
+
+    @property
+    def udp(self) -> Optional[UdpDatagram]:
+        return self.full.udp
+
+    @property
+    def transport_payload(self) -> bytes:
+        if self.proto == PROTO_TCP:
+            transport = 14 + self._ihl
+            offset = transport + ((self.data[transport + 12] >> 4) * 4)
+            total = int.from_bytes(self.data[16:18], "big")
+            return self.data[offset:14 + total]
+        if self.proto == PROTO_UDP:
+            transport = 14 + self._ihl
+            length = int.from_bytes(
+                self.data[transport + 4:transport + 6], "big")
+            return self.data[transport + 8:transport + length]
+        return b""
+
+    @property
+    def dns(self) -> Optional[DnsMessage]:
+        """Parse DNS in place for UDP/53 packets, like the full tier."""
+        if self._dns is _MISSING:
+            self._dns = None
+            if self.proto == PROTO_UDP \
+                    and DNS_PORT in (self.src_port, self.dst_port):
+                try:
+                    self._dns = DnsMessage.decode(self.transport_payload)
+                except ValueError:
+                    self._dns = None
+        return self._dns
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return (f"LazyPacket(t={self.timestamp}, "
+                f"{self.flow_proto or 'eth'}, "
+                f"{self.src_ip}:{self.src_port} -> "
+                f"{self.dst_ip}:{self.dst_port}, {self.length}B)")
+
+
+def lazy_decode(packet: CapturedPacket) -> LazyPacket:
+    """Fast-tier view of one captured packet."""
+    return LazyPacket(packet.timestamp, packet.data)
+
+
+def lazy_decode_all(packets: List[CapturedPacket]) -> List[LazyPacket]:
+    """Fast-tier views of a capture, in order.
+
+    Shares one address intern table across the capture: the handful of
+    distinct endpoints repeat across thousands of packets, so the flow
+    key reuses one ``Ipv4Address`` per endpoint instead of allocating
+    two per packet.
+    """
+    intern: Dict[bytes, Ipv4Address] = {}
+    return [LazyPacket(p.timestamp, p.data, intern) for p in packets]
 
 
 def build_udp_frame(src_mac: MacAddress, dst_mac: MacAddress,

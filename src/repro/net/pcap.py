@@ -35,7 +35,10 @@ class PcapWriter:
     """Stream packets into a pcap file object."""
 
     def __init__(self, fileobj: BinaryIO, snaplen: int = 65535) -> None:
+        if snaplen <= 0:
+            raise ValueError(f"snaplen must be positive: {snaplen}")
         self._file = fileobj
+        self._snaplen = snaplen
         self._count = 0
         self._file.write(GLOBAL_HEADER.pack(
             MAGIC_USEC, VERSION_MAJOR, VERSION_MINOR,
@@ -45,12 +48,21 @@ class PcapWriter:
     def count(self) -> int:
         return self._count
 
+    @property
+    def snaplen(self) -> int:
+        return self._snaplen
+
     def write(self, packet: CapturedPacket) -> None:
         ts_sec, ts_ns = divmod(packet.timestamp, _NS_PER_S)
         ts_usec = ts_ns // _NS_PER_US
-        length = len(packet.data)
-        self._file.write(RECORD_HEADER.pack(ts_sec, ts_usec, length, length))
-        self._file.write(packet.data)
+        orig_len = len(packet.data)
+        # Records honor the declared snaplen the way a real capture
+        # engine would: truncate the stored bytes, preserve orig_len.
+        incl_len = min(orig_len, self._snaplen)
+        self._file.write(RECORD_HEADER.pack(ts_sec, ts_usec, incl_len,
+                                            orig_len))
+        self._file.write(packet.data[:incl_len]
+                         if incl_len < orig_len else packet.data)
         self._count += 1
 
     def write_all(self, packets: Iterable[CapturedPacket]) -> int:

@@ -10,7 +10,7 @@ physical TV.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim.clock import microseconds
 from ..sim.rng import RngRegistry
@@ -19,6 +19,7 @@ from .dns import DnsMessage, DnsRecord
 from .link import LatencyModel
 from .packet import CapturedPacket, build_tcp_frame, build_udp_frame
 from .tcp import (FLAG_ACK, FLAG_FIN, FLAG_PSH, FLAG_SYN, TcpSegment)
+from .template import TcpFrameTemplate
 from .tls import (AEAD_OVERHEAD, TlsRecord, application_records,
                   handshake_flights)
 
@@ -45,6 +46,9 @@ class HostStack:
         self._ip_id = rng.bounded_int("stack:ipid", 0, 0xFFFF)
         self._remote_ip_id = rng.bounded_int("stack:remote-ipid", 0, 0xFFFF)
         self._dns_txid = rng.bounded_int("stack:dns-txid", 0, 0xFFFF)
+        # Header templates per flow direction: a TLS session re-emits
+        # hundreds of segments that differ only in the patchable fields.
+        self._templates: Dict[Tuple, TcpFrameTemplate] = {}
         # The TV's radio and the AP's delivery queue each serialize frames,
         # so capture timestamps are monotonic per direction even when
         # latency jitter would say otherwise.
@@ -101,20 +105,41 @@ class HostStack:
         self.capture(CapturedPacket(ts, frame))
         return ts
 
+    def _tcp_frame(self, src_mac: MacAddress, dst_mac: MacAddress,
+                   src_ip: Ipv4Address, dst_ip: Ipv4Address, ttl: int,
+                   identification: int, segment: TcpSegment) -> bytes:
+        """Encode via a cached header template when the segment has the
+        fast-path shape (no options, default window) — the overwhelming
+        majority; SYN segments carry an MSS option and fall back to the
+        full object codec."""
+        if segment.mss_option or segment.window != 0xFFFF:
+            return build_tcp_frame(src_mac, dst_mac, src_ip, dst_ip,
+                                   segment, identification=identification,
+                                   ttl=ttl)
+        key = (src_mac.value, dst_mac.value, src_ip.value, dst_ip.value,
+               segment.src_port, segment.dst_port, ttl)
+        template = self._templates.get(key)
+        if template is None:
+            template = TcpFrameTemplate(src_mac, dst_mac, src_ip, dst_ip,
+                                        segment.src_port, segment.dst_port,
+                                        ttl=ttl)
+            self._templates[key] = template
+        return template.frame(identification, segment.seq, segment.ack,
+                              segment.flags, segment.payload)
+
     def emit_outbound_tcp(self, at: int, dst_ip: Ipv4Address,
                           segment: TcpSegment) -> int:
-        frame = build_tcp_frame(self.mac, self.gateway_mac, self.ip, dst_ip,
-                                segment, identification=self._next_ip_id())
+        frame = self._tcp_frame(self.mac, self.gateway_mac, self.ip,
+                                dst_ip, 64, self._next_ip_id(), segment)
         ts = self._serialize_out(at + self.latency.wifi_hop_ns())
         self.capture(CapturedPacket(ts, frame))
         return ts
 
     def emit_inbound_tcp(self, at: int, src_ip: Ipv4Address,
                          segment: TcpSegment, ttl: int = 57) -> int:
-        frame = build_tcp_frame(self.gateway_mac, self.mac, src_ip, self.ip,
-                                segment,
-                                identification=self._next_remote_ip_id(),
-                                ttl=ttl)
+        frame = self._tcp_frame(self.gateway_mac, self.mac, src_ip,
+                                self.ip, ttl, self._next_remote_ip_id(),
+                                segment)
         ts = self._serialize_in(at)
         self.capture(CapturedPacket(ts, frame))
         return ts

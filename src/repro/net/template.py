@@ -1,0 +1,100 @@
+"""Pre-encoded frame templates for repeated-segment synthesis.
+
+A TLS session emits hundreds of TCP segments that differ only in
+seq/ack, flags, IPv4 identification, lengths, payload and the two
+checksums; everything else — MACs, addresses, ports, TTL, window — is
+fixed for the life of the flow direction.  :class:`TcpFrameTemplate`
+encodes the 54 static header bytes once, caches the partial
+one's-complement sums of the unchanging 16-bit words, and per segment
+only patches the variable fields (``struct.pack_into``) and finishes the
+two checksums from the cached partials — the RFC 1624 incremental-update
+technique applied at template granularity.
+
+Output is bit-for-bit identical to the object path
+(:func:`repro.net.packet.build_tcp_frame` composing
+``TcpSegment.encode`` + ``Ipv4Packet.encode`` + ``EthernetFrame.encode``
+with default DSCP/DF/window and no TCP options);
+``tests/test_net_fastpath.py`` asserts the equivalence property-style.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .addresses import Ipv4Address, MacAddress
+from .checksum import incremental_update, internet_checksum, word_sum
+from .ethernet import ETHERTYPE_IPV4
+from .ip import PROTO_TCP
+
+HEADER_LEN = 54  # Ethernet (14) + IPv4 (20) + TCP without options (20)
+
+_IP_LEN_ID = struct.Struct("!HH")    # total_length + identification @ 16
+_IP_CHECKSUM = struct.Struct("!H")   # @ 24
+_TCP_SEQ_ACK = struct.Struct("!II")  # @ 38
+_TCP_OFF_FLAGS = struct.Struct("!BB")  # data offset/flags @ 46
+_TCP_CHECKSUM = struct.Struct("!H")  # @ 50
+
+
+class TcpFrameTemplate:
+    """Cached Ethernet+IPv4+TCP headers for one flow direction.
+
+    Covers the fast-path segment shape: no TCP options (SYN segments
+    carry an MSS option and take the slow path), default window, DSCP 0,
+    DF set — exactly what :class:`~repro.net.stack.HostStack` emits for
+    every non-SYN segment.
+    """
+
+    __slots__ = ("_header", "_ip_base_checksum", "_tcp_static_sum")
+
+    def __init__(self, src_mac: MacAddress, dst_mac: MacAddress,
+                 src_ip: Ipv4Address, dst_ip: Ipv4Address,
+                 src_port: int, dst_port: int, ttl: int = 64,
+                 window: int = 0xFFFF) -> None:
+        src = src_ip.to_bytes()
+        dst = dst_ip.to_bytes()
+        header = bytearray(HEADER_LEN)
+        header[0:6] = dst_mac.to_bytes()
+        header[6:12] = src_mac.to_bytes()
+        header[12:14] = ETHERTYPE_IPV4.to_bytes(2, "big")
+        # IPv4: version/IHL, DSCP 0, length+id patched per frame,
+        # flags=DF, checksum patched per frame.
+        header[14] = 0x45
+        header[20:22] = b"\x40\x00"
+        header[22] = ttl
+        header[23] = PROTO_TCP
+        header[26:30] = src
+        header[30:34] = dst
+        # TCP: ports/window fixed; seq/ack/flags/checksum per frame.
+        header[34:36] = src_port.to_bytes(2, "big")
+        header[36:38] = dst_port.to_bytes(2, "big")
+        header[48:50] = window.to_bytes(2, "big")
+        self._header = bytes(header)
+        # IP header checksum with the variable fields (length, id) held
+        # at zero; each frame patches it via RFC 1624.
+        self._ip_base_checksum = internet_checksum(self._header[14:34])
+        # TCP pseudo header (addresses + protocol; length added per
+        # frame) plus the static header words (ports, window).
+        self._tcp_static_sum = word_sum(
+            src + dst + bytes([0, PROTO_TCP])
+            + header[34:38] + header[48:50])
+
+    def frame(self, ip_id: int, seq: int, ack: int, flags: int,
+              payload: bytes = b"") -> bytes:
+        """One encoded frame with the variable fields patched in."""
+        tcp_len = 20 + len(payload)
+        total_length = 20 + tcp_len
+        header = bytearray(self._header)
+        _IP_LEN_ID.pack_into(header, 16, total_length, ip_id)
+        _IP_CHECKSUM.pack_into(header, 24, incremental_update(
+            self._ip_base_checksum, b"\x00\x00\x00\x00",
+            bytes(header[16:20])))
+        seq &= 0xFFFFFFFF
+        ack &= 0xFFFFFFFF
+        _TCP_SEQ_ACK.pack_into(header, 38, seq, ack)
+        _TCP_OFF_FLAGS.pack_into(header, 46, 0x50, flags)
+        tcp_sum = (self._tcp_static_sum + tcp_len
+                   + (seq >> 16) + (seq & 0xFFFF)
+                   + (ack >> 16) + (ack & 0xFFFF)
+                   + (0x5000 | flags) + word_sum(payload)) % 0xFFFF
+        _TCP_CHECKSUM.pack_into(header, 50, 0xFFFF - (tcp_sum or 0xFFFF))
+        return bytes(header) + payload

@@ -58,6 +58,46 @@ class TestVideoFingerprint:
         assert 0 <= hamming_distance(a, b) <= 64
 
 
+class TestVectorizedResampleEquivalence:
+    """The batched `_resample`/packbits dHash must be bit-identical to
+    the per-block reference loop — fingerprints feed matcher verdicts,
+    which feed wire traffic, so any drift would change captures."""
+
+    @staticmethod
+    def _reference_fingerprint(frame):
+        rows, cols = 8, 9
+        h, w = frame.shape
+        row_edges = np.linspace(0, h, rows + 1).astype(int)
+        col_edges = np.linspace(0, w, cols + 1).astype(int)
+        grid = np.empty((rows, cols), dtype=np.float64)
+        for r in range(rows):
+            for c in range(cols):
+                block = frame[row_edges[r]:max(row_edges[r + 1],
+                                               row_edges[r] + 1),
+                              col_edges[c]:max(col_edges[c + 1],
+                                               col_edges[c] + 1)]
+                grid[r, c] = float(block.mean())
+        bits = 0
+        for r in range(rows):
+            for c in range(cols - 1):
+                bits = (bits << 1) | int(grid[r, c] > grid[r, c + 1])
+        return bits
+
+    def test_matches_reference_on_rendered_frames(self, library):
+        for item in (library.shows[0], library.ads[0]):
+            for position in (0.0, 9.5, 63.0, 127.9):
+                frame = render_frame(PlayState(item, position))
+                assert video_fingerprint(frame) == \
+                    self._reference_fingerprint(frame)
+
+    def test_matches_reference_on_random_frames(self):
+        rng = np.random.default_rng(7)
+        for __ in range(200):
+            frame = rng.random((18, 32), dtype=np.float32)
+            assert video_fingerprint(frame) == \
+                self._reference_fingerprint(frame)
+
+
 class TestAudioFingerprint:
     def test_deterministic(self, library):
         audio = render_audio(PlayState(library.shows[0], 10.0))

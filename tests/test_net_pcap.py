@@ -69,6 +69,42 @@ class TestHeader:
         assert reader.version == (2, 4)
 
 
+class TestSnaplen:
+    def test_writer_truncates_records_to_snaplen(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=64)
+        writer.write(CapturedPacket(1_000_000, b"\xab" * 200))
+        raw = buffer.getvalue()
+        __, __, incl_len, orig_len = struct.unpack("<IIII", raw[24:40])
+        assert (incl_len, orig_len) == (64, 200)
+        assert raw[40:] == b"\xab" * 64
+
+    def test_reader_returns_truncated_record(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=64)
+        writer.write(CapturedPacket(0, bytes(range(200)) + b"z" * 56))
+        loaded = load_bytes(buffer.getvalue())
+        assert len(loaded) == 1
+        assert loaded[0].data == bytes(range(64))
+
+    def test_short_packets_pass_through_unchanged(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=64)
+        writer.write(CapturedPacket(0, b"ok" * 10))
+        raw = buffer.getvalue()
+        __, __, incl_len, orig_len = struct.unpack("<IIII", raw[24:40])
+        assert (incl_len, orig_len) == (20, 20)
+        assert load_bytes(raw)[0].data == b"ok" * 10
+
+    def test_default_snaplen_never_truncates_ethernet(self):
+        packets = [CapturedPacket(0, b"\x01" * 1514)]
+        assert load_bytes(dump_bytes(packets))[0].data == b"\x01" * 1514
+
+    def test_nonpositive_snaplen_rejected(self):
+        with pytest.raises(ValueError):
+            PcapWriter(io.BytesIO(), snaplen=0)
+
+
 class TestErrors:
     def test_bad_magic(self):
         with pytest.raises(PcapError):
