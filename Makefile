@@ -3,10 +3,21 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-grid bench-fleet bench-json docs-check report
+# Coverage floor for `make coverage` / CI: conservatively below the
+# currently measured line coverage so real regressions trip it while
+# routine refactors do not.
+COV_FLOOR := 75
+
+.PHONY: test test-fast bench bench-grid bench-fleet bench-json \
+	coverage docs-check golden-update report
 
 test:
 	$(PY) -m pytest -x -q
+
+# Fast inner loop: skips the multi-cell fleet/grid/conformance/golden
+# suites (marker registered in pytest.ini). Tier-1 stays `make test`.
+test-fast:
+	$(PY) -m pytest -x -q -m "not slow"
 
 bench:
 	$(PY) -m pytest benchmarks -q
@@ -21,6 +32,17 @@ bench-fleet:
 # cell, written to BENCH_4.json so future PRs can regress-check.
 bench-json:
 	$(PY) scripts/bench_report.py --out BENCH_4.json
+
+# Full suite under coverage with the floor enforced (requires
+# pytest-cov, which CI installs; locally: pip install pytest-cov).
+coverage:
+	$(PY) -m pytest -q --cov=repro --cov-report=term \
+		--cov-report=xml --cov-fail-under=$(COV_FLOOR)
+
+# Regenerate the byte-identical output pins under tests/golden/ after an
+# intentional simulation change, then commit the updated artifacts.
+golden-update:
+	$(PY) scripts/update_golden.py
 
 docs-check:
 	$(PY) scripts/docs_check.py

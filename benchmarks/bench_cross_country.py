@@ -6,13 +6,13 @@ from repro.analysis import CountryComparison, acr_volume_total
 from repro.experiments import cache
 from repro.reporting import render_table
 from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
-                           Vendor)
+                           Vendor, paper_vendors)
 
 
 def run_comparison():
     domain_rows = []
     fast_rows = []
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         uk = cache.pipeline_for(ExperimentSpec(
             vendor, Country.UK, Scenario.LINEAR, Phase.LIN_OIN))
         us = cache.pipeline_for(ExperimentSpec(
@@ -43,6 +43,6 @@ def test_cross_country(benchmark, uk_opted_in_cells, us_opted_in_cells):
     for vendor_row in domain_rows:
         assert vendor_row[1] and vendor_row[2]  # both sides differ
     ratios = {(r[0], r[1]): float(r[4]) for r in fast_rows}
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         assert ratios[(vendor.value, "uk")] < 0.3
         assert ratios[(vendor.value, "us")] > 0.7

@@ -7,11 +7,12 @@ from repro.ads import run_linkage_study
 from repro.experiments.blocklist_eval import run_evaluation
 from repro.experiments.mitm_audit import run_mitm_audit
 from repro.reporting import render_table
-from repro.testbed import Vendor, fresh_backend, media_library
+from repro.testbed import (Vendor, fresh_backend, media_library,
+                           paper_vendors)
 
 
 def test_mitm_payload_audit(benchmark):
-    audits = once(benchmark, lambda: [run_mitm_audit(v) for v in Vendor])
+    audits = once(benchmark, lambda: [run_mitm_audit(v) for v in paper_vendors()])
     by_vendor = {audit.spec.vendor: audit for audit in audits}
     lg_audit = by_vendor[Vendor.LG]
     samsung_audit = by_vendor[Vendor.SAMSUNG]

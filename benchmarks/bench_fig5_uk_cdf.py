@@ -11,13 +11,13 @@ from repro.analysis import median_step_interval_s
 from repro.experiments import figure5, transmitted_curve
 from repro.reporting import plot_cdf, render_table
 from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
-                           Vendor)
+                           Vendor, paper_vendors)
 
 
 def test_figure5_uk_cdf(benchmark, uk_opted_in_cells):
     figure = once(benchmark, figure5)
     rows = []
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         for scenario in Scenario:
             lin = figure.total_kb(vendor, scenario, Phase.LIN_OIN)
             lout = figure.total_kb(vendor, scenario, Phase.LOUT_OIN)
@@ -44,7 +44,7 @@ def test_figure5_uk_cdf(benchmark, uk_opted_in_cells):
     assert 50 <= samsung_step <= 70
 
     # Login status does not shift the curves materially.
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         lin = figure.total_kb(vendor, Scenario.LINEAR, Phase.LIN_OIN)
         lout = figure.total_kb(vendor, Scenario.LINEAR, Phase.LOUT_OIN)
         assert abs(lin - lout) / max(lin, lout) < 0.3

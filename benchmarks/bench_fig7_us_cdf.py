@@ -4,13 +4,13 @@ from conftest import once
 
 from repro.experiments import figure7
 from repro.reporting import plot_cdf, render_table
-from repro.testbed import Phase, Scenario, Vendor
+from repro.testbed import Phase, Scenario, Vendor, paper_vendors
 
 
 def test_figure7_us_cdf(benchmark, us_opted_in_cells):
     figure = once(benchmark, figure7)
     rows = []
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         for scenario in Scenario:
             lin = figure.total_kb(vendor, scenario, Phase.LIN_OIN)
             lout = figure.total_kb(vendor, scenario, Phase.LOUT_OIN)
@@ -24,12 +24,12 @@ def test_figure7_us_cdf(benchmark, us_opted_in_cells):
         label="LG / FAST / LIn-OIn (US: FAST is tracked like Linear)"))
 
     # US shape: FAST transmissions rival Linear for both vendors.
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         fast = figure.total_kb(vendor, Scenario.FAST, Phase.LIN_OIN)
         linear = figure.total_kb(vendor, Scenario.LINEAR, Phase.LIN_OIN)
         assert fast > 0.6 * linear
     # Login status immaterial in the US too.
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         lin = figure.total_kb(vendor, Scenario.LINEAR, Phase.LIN_OIN)
         lout = figure.total_kb(vendor, Scenario.LINEAR, Phase.LOUT_OIN)
         assert abs(lin - lout) / max(lin, lout) < 0.3

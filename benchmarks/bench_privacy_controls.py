@@ -8,13 +8,13 @@ from repro.analysis import PhaseComparison, no_new_acr_domains
 from repro.experiments import cache
 from repro.reporting import render_table
 from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
-                           Vendor)
+                           Vendor, paper_vendors)
 
 
 def run_differentials():
     rows = []
     verdicts = []
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         for country in Country:
             opted_in = cache.pipeline_for(ExperimentSpec(
                 vendor, country, Scenario.LINEAR, Phase.LIN_OIN))

@@ -17,7 +17,14 @@ os.environ.setdefault("REPRO_CACHE_DIR", os.path.join(
 
 from repro.experiments import cache  # noqa: E402
 from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,  # noqa: E402
-                           Vendor)
+                           paper_vendors)
+
+
+def pytest_collection_modifyitems(items):
+    # Everything under benchmarks/ carries the registered `bench` marker
+    # so mixed invocations can select the layer with -m bench.
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 def warm(vendor, country, scenarios, phases):
@@ -30,7 +37,7 @@ def warm(vendor, country, scenarios, phases):
 
 @pytest.fixture(scope="session")
 def uk_opted_in_cells():
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         warm(vendor, Country.UK, list(Scenario),
              [Phase.LIN_OIN, Phase.LOUT_OIN])
     return cache
@@ -38,7 +45,7 @@ def uk_opted_in_cells():
 
 @pytest.fixture(scope="session")
 def us_opted_in_cells():
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         warm(vendor, Country.US, list(Scenario),
              [Phase.LIN_OIN, Phase.LOUT_OIN])
     return cache
@@ -46,7 +53,7 @@ def us_opted_in_cells():
 
 @pytest.fixture(scope="session")
 def optout_cells():
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         for country in Country:
             warm(vendor, country, [Scenario.LINEAR],
                  [Phase.LIN_OOUT, Phase.LOUT_OOUT])

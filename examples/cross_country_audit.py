@@ -17,12 +17,12 @@ from repro.analysis import CountryComparison, acr_volume_total
 from repro.experiments import cache, run_geo_experiment
 from repro.reporting import render_table
 from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
-                           Vendor)
+                           paper_vendors)
 
 
 def main() -> None:
     print("=== Domain sets (Linear, LIn-OIn) ===")
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         uk = cache.pipeline_for(ExperimentSpec(
             vendor, Country.UK, Scenario.LINEAR, Phase.LIN_OIN))
         us = cache.pipeline_for(ExperimentSpec(
@@ -35,7 +35,7 @@ def main() -> None:
 
     print("\n=== FAST platform divergence ===")
     rows = []
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         for country in Country:
             fast = acr_volume_total(cache.pipeline_for(ExperimentSpec(
                 vendor, country, Scenario.FAST, Phase.LIN_OIN)))

@@ -14,11 +14,12 @@ Usage::
 
 from repro.experiments.mitm_audit import run_mitm_audit
 from repro.reporting import render_table
-from repro.testbed import Vendor
+from repro.acr import profile_for
+from repro.testbed import paper_vendors
 
 
 def main() -> None:
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         audit = run_mitm_audit(vendor)
         print(f"\n=== {vendor.value} (UK, Linear, MITM proxy in path) ===")
         rows = []
@@ -41,7 +42,7 @@ def main() -> None:
             print(f"capture cadence from batch offsets: "
                   f"{audit.capture_cadence_ms:.0f} ms "
                   f"(vendor documentation: "
-                  f"{'10' if vendor is Vendor.LG else '500'} ms)")
+                  f"{profile_for(vendor.value, 'uk').capture_interval_ns // 10**6} ms)")
         else:
             print("capture cadence: unknown — the fingerprint channel "
                   "never decrypted")

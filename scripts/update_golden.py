@@ -1,0 +1,46 @@
+"""Regenerate the golden-corpus pins under ``tests/golden/``.
+
+Run via ``make golden-update`` whenever an intentional simulation change
+shifts the scorecard or report bytes.  The committed artifacts turn
+"output is byte-identical" claims into an executed test
+(``tests/test_golden_corpus.py``) instead of a manual diff.
+
+The artifact recipe itself lives in :mod:`repro.experiments.golden`,
+shared with the test, so the two sides always agree on names, vendor
+selections and byte conventions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.golden import artifacts  # noqa: E402
+from repro.util import atomic_write_text  # noqa: E402
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "..", "tests", "golden")
+JOBS = max(1, (os.cpu_count() or 2) - 1)
+
+
+def main() -> int:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    pins = {}
+    for name, content in artifacts(jobs=JOBS):
+        path = os.path.join(GOLDEN_DIR, name)
+        atomic_write_text(path, content)
+        pins[name] = hashlib.sha256(content.encode("utf-8")).hexdigest()
+        print(f"wrote {name} ({len(content)} bytes, "
+              f"sha256 {pins[name][:16]}...)")
+    atomic_write_text(os.path.join(GOLDEN_DIR, "golden.json"),
+                      json.dumps(pins, indent=2, sort_keys=True) + "\n")
+    print(f"wrote golden.json ({len(pins)} pins)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ from .fingerprint import (Capture, FingerprintBatch, audio_fingerprint,
                           video_fingerprint)
 from .library import ReferenceEntry, ReferenceLibrary
 from .matcher import (BatchVerdict, FingerprintMatcher, Match, bands_of)
-from .policy import (CaptureDecision, PROFILES, VendorAcrProfile,
+from .policy import (CaptureDecision, VendorAcrProfile,
                      capture_decision, profile_for)
 from .segments import (AudienceProfile, SEGMENT_LABELS, SegmentProfiler)
 from .server import AcrBackend, ViewingEvent, ViewingSession
@@ -25,7 +25,6 @@ __all__ = [
     "FingerprintBatch",
     "FingerprintMatcher",
     "Match",
-    "PROFILES",
     "ReferenceEntry",
     "ReferenceLibrary",
     "SEGMENT_LABELS",

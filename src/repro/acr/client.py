@@ -21,7 +21,8 @@ from typing import Callable, Optional
 from ..media.sources import InputSource, SourceType
 from .fingerprint import Capture, FingerprintBatch, capture_state
 from .matcher import BatchVerdict
-from .policy import CaptureDecision, VendorAcrProfile, capture_decision
+from .policy import (CaptureDecision, TRIGGER_CONTENT_CHANGE,
+                     VendorAcrProfile, capture_decision)
 
 
 def _padded_json(body: dict, target_size: int) -> bytes:
@@ -72,7 +73,8 @@ class AcrClientStats:
 
     __slots__ = ("full_batches", "beacons", "silent_slots",
                  "skipped_backoff", "disabled_slots", "recognised",
-                 "unrecognised")
+                 "unrecognised", "burst_uploads", "content_gated_slots",
+                 "downsampled_batches")
 
     def __init__(self) -> None:
         self.full_batches = 0
@@ -82,12 +84,19 @@ class AcrClientStats:
         self.disabled_slots = 0
         self.recognised = 0
         self.unrecognised = 0
+        # Content-change-triggered vendors (Roku-style) only:
+        self.burst_uploads = 0         # batches shipped as boundary bursts
+        self.content_gated_slots = 0   # ticks skipped: content unchanged
+        self.downsampled_batches = 0   # opted-out reduced-rate uploads
 
     def __repr__(self) -> str:
         return (f"AcrClientStats(full={self.full_batches}, "
                 f"beacons={self.beacons}, silent={self.silent_slots}, "
                 f"backoff={self.skipped_backoff}, "
-                f"disabled={self.disabled_slots})")
+                f"disabled={self.disabled_slots}, "
+                f"bursts={self.burst_uploads}, "
+                f"gated={self.content_gated_slots}, "
+                f"downsampled={self.downsampled_batches})")
 
 
 class AcrClient:
@@ -107,6 +116,8 @@ class AcrClient:
         self.stats = AcrClientStats()
         self._slot = 0
         self._last_recognised = True
+        self._last_content_id: Optional[str] = None
+        self._static_slots = 0
 
     # -- periodic entry point ------------------------------------------------
 
@@ -114,20 +125,29 @@ class AcrClient:
         """Called by the device every ``profile.batch_interval_ns``."""
         self._slot += 1
         if not self._enabled_fn():
-            # Opted out: complete silence on every ACR channel (§4.2).
-            self.stats.disabled_slots += 1
-            return
+            # Opted out: complete silence on every ACR channel (§4.2) —
+            # unless the vendor's profile declares downsample-on-opt-out
+            # semantics, in which case every Nth tick still uploads a
+            # single (never burst) batch.
+            every = self.profile.optout_downsample_every
+            if not every or self._slot % every:
+                self.stats.disabled_slots += 1
+                return
+            downsampled = True
+        else:
+            downsampled = False
         source = self._source_fn()
         decision = capture_decision(self.profile.vendor,
                                     self.profile.country,
                                     source.source_type)
-        if decision is CaptureDecision.SILENT:
+        if decision is CaptureDecision.SILENT or \
+                (downsampled and decision is not CaptureDecision.FULL):
             self.stats.silent_slots += 1
             return
         if decision is CaptureDecision.BEACON:
             self._send_beacon(at_ns, source)
             return
-        self._send_full_batch(at_ns, source)
+        self._send_full_batch(at_ns, source, downsampled)
 
     # -- modes -------------------------------------------------------------
 
@@ -155,17 +175,29 @@ class AcrClient:
             "slot": self._slot,
         }, size)
 
-    def _send_full_batch(self, at_ns: int, source: InputSource) -> None:
-        if (self.profile.backoff_when_unrecognised
+    def _send_full_batch(self, at_ns: int, source: InputSource,
+                         downsampled: bool = False) -> None:
+        if (not downsampled and self.profile.backoff_when_unrecognised
                 and not self._last_recognised and self._slot % 2 == 0):
             # Unrecognised content (e.g. a game over HDMI): halve the
             # upload rate until something matches again.
             self.stats.skipped_backoff += 1
             return
+        burst = 1
+        if (self.profile.upload_trigger == TRIGGER_CONTENT_CHANGE
+                and not downsampled):
+            burst = self._content_gate(at_ns, source)
+            if burst == 0:
+                return
         batch = self._sample_batch(at_ns, source)
         domain = self._domain_fn(at_ns)
         request = self.profile.batch_payload_bytes(
             self.stats.full_batches + 1, source.source_type)
+        if burst > 1:
+            # A boundary burst: the wire carries several batches' worth
+            # of fingerprints back to back in one flush.
+            request *= burst
+            self.stats.burst_uploads += 1
         self._transport.send(
             at_ns, domain, request, self.profile.batch_response_bytes,
             request_plaintext=batch.encode(),
@@ -179,6 +211,31 @@ class AcrClient:
             else:
                 self.stats.unrecognised += 1
         self.stats.full_batches += 1
+        if downsampled:
+            self.stats.downsampled_batches += 1
+
+    def _content_gate(self, at_ns: int, source: InputSource) -> int:
+        """How many batches a content-change-triggered tick ships.
+
+        0 = gated (content unchanged, no background refresh due);
+        1 = background refresh; ``profile.burst_batches`` = boundary
+        burst because the on-screen content just changed.
+        """
+        state = source.screen_state(at_ns)
+        content_id = state.item.content_id if state is not None else None
+        changed = (content_id is not None
+                   and content_id != self._last_content_id)
+        if content_id is not None:
+            self._last_content_id = content_id
+        if changed:
+            self._static_slots = 0
+            return self.profile.burst_batches
+        self._static_slots += 1
+        idle = self.profile.idle_upload_every
+        if idle and self._static_slots % idle == 0:
+            return 1
+        self.stats.content_gated_slots += 1
+        return 0
 
     # -- capture sampling -----------------------------------------------------
 

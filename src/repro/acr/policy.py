@@ -12,10 +12,15 @@ made explicit policy here:
   never fingerprinted (Netflix-style restrictions, §4.1); home screen and
   casting fall back to beacon-level traffic.
 * When opted out there is no ACR traffic at all (§4.2) — that gate lives
-  in the client, not here.
+  in the client, not here — *unless* the vendor's profile declares
+  downsample-on-opt-out semantics (the Roku-style extension vendor).
 
-The byte constants are calibrated so a one-hour experiment lands near the
-paper's Tables 2-5 (see EXPERIMENTS.md for paper-vs-measured).
+This module owns the vendor-agnostic vocabulary
+(:class:`VendorAcrProfile`, :class:`CaptureDecision`) and the per-source
+defaults.  The per-vendor calibrated profiles and decision overrides are
+declared by the vendor plugins in :mod:`repro.tv.vendors`;
+:func:`profile_for` and :func:`capture_decision` resolve through that
+registry.
 """
 
 from __future__ import annotations
@@ -24,7 +29,12 @@ from enum import Enum
 from typing import Dict, Tuple
 
 from ..media.sources import SourceType
-from ..sim.clock import milliseconds, seconds
+
+#: Upload scheduling modes.  ``interval`` ships a batch on every tick
+#: (the paper's pair); ``content_change`` gates uploads on the on-screen
+#: content changing, with bursts at boundaries (Roku-style SDKs).
+TRIGGER_INTERVAL = "interval"
+TRIGGER_CONTENT_CHANGE = "content_change"
 
 
 class CaptureDecision(Enum):
@@ -45,6 +55,8 @@ class VendorAcrProfile:
         "beacon_peak_every", "beacon_peak_scale", "cast_request_bytes",
         "cast_response_bytes", "hdmi_dedup_fraction",
         "backoff_when_unrecognised", "match_samples_per_batch",
+        "upload_trigger", "burst_batches", "idle_upload_every",
+        "optout_downsample_every",
     )
 
     def __init__(self, vendor: str, country: str,
@@ -56,9 +68,17 @@ class VendorAcrProfile:
                  cast_request_bytes: int, cast_response_bytes: int,
                  hdmi_dedup_fraction: float,
                  backoff_when_unrecognised: bool,
-                 match_samples_per_batch: int = 8) -> None:
+                 match_samples_per_batch: int = 8,
+                 upload_trigger: str = TRIGGER_INTERVAL,
+                 burst_batches: int = 1,
+                 idle_upload_every: int = 0,
+                 optout_downsample_every: int = 0) -> None:
         if not 0.0 <= hdmi_dedup_fraction < 1.0:
             raise ValueError("dedup fraction must be in [0, 1)")
+        if upload_trigger not in (TRIGGER_INTERVAL, TRIGGER_CONTENT_CHANGE):
+            raise ValueError(f"unknown upload trigger: {upload_trigger!r}")
+        if upload_trigger == TRIGGER_INTERVAL and burst_batches != 1:
+            raise ValueError("bursts require the content-change trigger")
         self.vendor = vendor
         self.country = country
         self.capture_interval_ns = capture_interval_ns
@@ -76,6 +96,10 @@ class VendorAcrProfile:
         self.hdmi_dedup_fraction = hdmi_dedup_fraction
         self.backoff_when_unrecognised = backoff_when_unrecognised
         self.match_samples_per_batch = match_samples_per_batch
+        self.upload_trigger = upload_trigger
+        self.burst_batches = burst_batches
+        self.idle_upload_every = idle_upload_every
+        self.optout_downsample_every = optout_downsample_every
 
     @property
     def captures_per_batch(self) -> int:
@@ -125,91 +149,17 @@ class VendorAcrProfile:
                 f"batch={self.batch_interval_ns / 1e9:.0f}s)")
 
 
-# LG webOS: 10 ms captures, 15 s batches; compact per-capture records;
-# duplicate-frame suppression trims HDMI batches (desktop content is
-# largely static).
-_LG_COMMON = dict(
-    capture_interval_ns=milliseconds(10),
-    batch_interval_ns=seconds(15),
-    bytes_per_capture=12,
-    batch_response_bytes=360,
-    peak_every_batches=4,          # minute-cadence peaks (Fig. 4a)
-    peak_extra_bytes=2600,
-    beacon_peak_every=4,           # "peaks every minute"
-    beacon_peak_scale=2.4,
-    hdmi_dedup_fraction=0.10,
-    backoff_when_unrecognised=False,
-)
-
-# Samsung Tizen: 500 ms captures, 60 s batches; richer per-capture records,
-# five-minute flush peaks.  Restricted scenarios keep the fingerprint
-# session alive with bare TCP keep-alives (near-zero bytes), except
-# casting, which sends a small status beacon.
-_SAMSUNG_COMMON = dict(
-    capture_interval_ns=milliseconds(500),
-    batch_interval_ns=seconds(60),
-    batch_response_bytes=420,
-    peak_every_batches=5,          # "peaks ... every five minutes" (Fig. 4b)
-    peak_extra_bytes=2200,
-    beacon_peak_every=2,           # alternating minute peaks (§4.1)
-    beacon_peak_scale=1.8,
-    beacon_request_bytes=0,        # bare TCP keep-alive
-    beacon_response_bytes=0,
-    cast_request_bytes=110,
-    cast_response_bytes=90,
-    hdmi_dedup_fraction=0.0,
-)
-
-PROFILES: Dict[Tuple[str, str], VendorAcrProfile] = {
-    ("lg", "uk"): VendorAcrProfile(
-        "lg", "uk",
-        beacon_request_bytes=370, beacon_response_bytes=240,
-        cast_request_bytes=370, cast_response_bytes=240,
-        **_LG_COMMON),
-    ("lg", "us"): VendorAcrProfile(
-        "lg", "us",
-        beacon_request_bytes=260, beacon_response_bytes=170,
-        cast_request_bytes=260, cast_response_bytes=170,
-        **_LG_COMMON),
-    ("samsung", "uk"): VendorAcrProfile(
-        "samsung", "uk",
-        bytes_per_capture=52,
-        backoff_when_unrecognised=True,
-        **_SAMSUNG_COMMON),
-    ("samsung", "us"): VendorAcrProfile(
-        "samsung", "us",
-        bytes_per_capture=17,
-        backoff_when_unrecognised=False,  # US HDMI volumes ~= Antenna
-        **_SAMSUNG_COMMON),
-}
-
-
 def profile_for(vendor: str, country: str) -> VendorAcrProfile:
     """The calibrated profile for a vendor/country pair."""
+    from ..tv import vendors
     try:
-        return PROFILES[(vendor, country)]
+        return vendors.get(vendor).acr_profiles[country]
     except KeyError:
         raise KeyError(
             f"no ACR profile for {vendor!r}/{country!r}") from None
 
 
-# Decision table: (vendor, country, source) -> CaptureDecision.  Entries
-# not listed fall back to the per-source defaults below.
-_DECISIONS: Dict[Tuple[str, str, SourceType], CaptureDecision] = {
-    # The manufacturer FAST platform: restricted in the UK, active in the
-    # US (§4.3: "the FAST scenario deviates from the UK findings").
-    ("lg", "uk", SourceType.FAST): CaptureDecision.BEACON,
-    ("lg", "us", SourceType.FAST): CaptureDecision.FULL,
-    ("samsung", "uk", SourceType.FAST): CaptureDecision.BEACON,
-    ("samsung", "us", SourceType.FAST): CaptureDecision.FULL,
-    # Samsung goes fully silent on the fingerprint channel in the US for
-    # idle/OTT/cast (Table 4 shows no acr-us-prd traffic there).
-    ("samsung", "us", SourceType.OTT): CaptureDecision.SILENT,
-    ("samsung", "us", SourceType.CAST): CaptureDecision.SILENT,
-    ("samsung", "uk", SourceType.HOME): CaptureDecision.SILENT,
-    ("samsung", "us", SourceType.HOME): CaptureDecision.SILENT,
-}
-
+# Per-source fallbacks; vendor profiles override specific cells.
 _DEFAULTS: Dict[SourceType, CaptureDecision] = {
     SourceType.TUNER: CaptureDecision.FULL,
     SourceType.HDMI: CaptureDecision.FULL,
@@ -223,7 +173,8 @@ _DEFAULTS: Dict[SourceType, CaptureDecision] = {
 def capture_decision(vendor: str, country: str,
                      source: SourceType) -> CaptureDecision:
     """What the ACR client does for this source in this country."""
-    specific = _DECISIONS.get((vendor, country, source))
+    from ..tv import vendors
+    specific = vendors.get(vendor).capture_decisions.get((country, source))
     if specific is not None:
         return specific
     return _DEFAULTS[source]

@@ -20,6 +20,10 @@ BLOKADA_LITE = [
     "samsungads.com",
     "lgsmartad.com",
     "lgads.tv",
+    # Extension-vendor operators (appended: earlier entries keep their
+    # positions so paper-vendor classifications never shift).
+    "teletrack.tv",
+    "inscape.example.tv",
 ]
 
 # Netify-like: domain suffix -> (application, category).
@@ -39,6 +43,10 @@ NETIFY_CATALOG: Dict[str, Dict[str, str]] = {
     "lge.com": {"application": "LG Electronics", "category": "platform"},
     "netflix.com": {"application": "Netflix", "category": "streaming"},
     "youtube.com": {"application": "YouTube", "category": "streaming"},
+    "teletrack.tv": {"application": "Teletrack ACR",
+                     "category": "advertiser"},
+    "inscape.example.tv": {"application": "Inscape-style Data",
+                           "category": "advertiser"},
 }
 
 

@@ -6,10 +6,12 @@
         --phase LIn-OIn --out capture.pcap
     python -m repro.cli audit capture.pcap
     python -m repro.cli grid --jobs 4 --filter vendor=lg --filter country=uk
-    python -m repro.cli scorecard --jobs 4
+    python -m repro.cli grid --jobs 4 --filter vendor=roku,vizio
+    python -m repro.cli scorecard --jobs 4 --vendors samsung,lg
     python -m repro.cli report --jobs 4 > EXPERIMENTS.md
     python -m repro.cli table 2
-    python -m repro.cli fleet --households 200 --jobs 8 --mix vendor=lg:1
+    python -m repro.cli fleet --households 200 --jobs 8 \
+        --mix vendor=roku:1,vizio:1,lg:2,samsung:2
 """
 
 from __future__ import annotations
@@ -32,6 +34,22 @@ def _add_grid_options(cmd: argparse.ArgumentParser) -> None:
                      help="worker processes for cell execution "
                           "(1 = serial; results are identical)")
     cmd.add_argument("--seed", type=int, default=7)
+
+
+def _add_vendors_option(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--vendors", default=None, metavar="NAME[,NAME...]",
+        help="restrict vendor-specific findings to these vendors "
+             f"(choose from {', '.join(v.value for v in Vendor)}; "
+             "default: all registered vendors; 'samsung,lg' reproduces "
+             "the pre-registry output byte for byte)")
+
+
+def _parse_vendors(args) -> Optional[List[str]]:
+    if not args.vendors:
+        return None
+    return [name.strip() for name in args.vendors.split(",")
+            if name.strip()]
 
 
 def _add_cache_options(cmd: argparse.ArgumentParser) -> None:
@@ -122,15 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     scorecard_cmd = sub.add_parser(
         "scorecard",
-        help="verify all paper findings (S1-S12); incremental over the "
-             "grid cache")
+        help="verify the paper findings (S1-S12) plus the extension-"
+             "vendor findings (X1-X6); incremental over the grid cache")
     _add_grid_options(scorecard_cmd)
+    _add_vendors_option(scorecard_cmd)
 
     report_cmd = sub.add_parser(
         "report",
         help="print the EXPERIMENTS.md paper-vs-measured report; "
              "incremental over the grid cache")
     _add_grid_options(report_cmd)
+    _add_vendors_option(report_cmd)
 
     table_cmd = sub.add_parser("table",
                                help="regenerate a paper table (2-5)")
@@ -273,20 +293,42 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _vendors_selection_error(args) -> Optional[str]:
+    """A usage-error message for a bad ``--vendors``, else None.
+
+    Only selection validation sits behind the exit-2 usage error; the
+    actual simulation/evaluation runs outside it so an internal
+    ValueError surfaces as a traceback, not a bogus usage error.
+    """
+    from .experiments.findings import selected_checks
+    try:
+        selected_checks(_parse_vendors(args))
+    except ValueError as exc:
+        return str(exc)
+    return None
+
+
 def _cmd_scorecard(args) -> int:
     from .experiments import run_all_checks
-    failures = 0
-    for check in run_all_checks(seed=args.seed, jobs=args.jobs):
-        state = "PASS" if check.passed else "FAIL"
-        print(f"[{state}] {check.finding_id}: {check.description}")
-        print(f"       {check.evidence}")
-        failures += not check.passed
-    return 1 if failures else 0
+    from .experiments.findings import render_checks
+    error = _vendors_selection_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    checks = run_all_checks(seed=args.seed, jobs=args.jobs,
+                            vendors=_parse_vendors(args))
+    sys.stdout.write(render_checks(checks))
+    return 1 if any(not check.passed for check in checks) else 0
 
 
 def _cmd_report(args) -> int:
     from .experiments.report import generate
-    print(generate(seed=args.seed, jobs=args.jobs))
+    error = _vendors_selection_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(generate(seed=args.seed, jobs=args.jobs,
+                   vendors=_parse_vendors(args)))
     return 0
 
 

@@ -11,14 +11,19 @@ The paper observes:
 * Plenty of *non*-ACR platform traffic exists (e.g. ``samsungads.com``)
   that the "acr"-substring heuristic must exclude.
 
-This module encodes that catalog, assigns every hostname a server in the
-ground-truth :class:`~repro.geo.ipspace.IpSpace`, and implements the rotating
-``X`` selection.
+The per-vendor hostname data itself is declared by the vendor plugins in
+:mod:`repro.tv.vendors`; this module assembles their catalogs, assigns
+every hostname a server in the ground-truth
+:class:`~repro.geo.ipspace.IpSpace`, and resolves the rotation and
+fingerprint-domain policies through the registered profiles.
+
+Catalog iteration follows the profiles' ``catalog_order`` — the IP
+allocator hands out addresses sequentially per provider block, so this
+order is part of the byte-stability contract for cached captures.
 """
 
 from __future__ import annotations
 
-import hashlib
 from typing import Dict, List, Optional
 
 from ..geo.ipspace import IpSpace, ServerRecord
@@ -46,111 +51,25 @@ class DomainRecord:
                 f"{self.city_key}, role={self.role})")
 
 
-# Roles:
+# Roles (declared by the vendor plugins):
 #   acr-fingerprint : carries content fingerprints (the heavy channel)
 #   acr-log         : ACR logging / config / keep-alive endpoints
 #   ads             : ad platform, NOT matched by the "acr" heuristic
 #   platform        : OS services (time, store, firmware)
 #   ott             : third-party streaming backends
-def _lg_rotating(country: str) -> List[DomainRecord]:
-    prefix = "eu-acr" if country == "uk" else "tkacr"
-    city = "amsterdam" if country == "uk" else "san_jose"
-    return [
-        DomainRecord(f"{prefix}{i}.alphonso.tv", "alphonso", city,
-                     "acr-fingerprint", ptr_label="acr")
-        for i in range(1, ROTATION_POOL_SIZE + 1)
-    ]
-
-
-def _samsung_numbered() -> List[DomainRecord]:
-    return [
-        DomainRecord(f"acr{i}.samsungcloudsolution.com", "samsung",
-                     "amsterdam", "acr-log", ptr_label="acr")
-        for i in range(0, 4)
-    ]
-
-
-_CATALOG: Dict[str, Dict[str, List[DomainRecord]]] = {
-    "lg": {
-        "uk": _lg_rotating("uk") + [
-            DomainRecord("gb.lgtvsdp.com", "bystander", "london",
-                         "platform"),
-            DomainRecord("ngfts.lge.com", "bystander", "london",
-                         "platform"),
-            DomainRecord("gb.ad.lgsmartad.com", "bystander", "london",
-                         "ads"),
-            DomainRecord("lgtvonline.lge.com", "bystander", "amsterdam",
-                         "platform"),
-            DomainRecord("api.netflix.com", "bystander", "london", "ott"),
-            DomainRecord("www.youtube.com", "bystander", "london", "ott"),
-        ],
-        "us": _lg_rotating("us") + [
-            DomainRecord("us.lgtvsdp.com", "bystander", "san_jose",
-                         "platform"),
-            DomainRecord("ngfts.lge.com", "bystander", "san_jose",
-                         "platform"),
-            DomainRecord("us.ad.lgsmartad.com", "bystander", "new_york",
-                         "ads"),
-            DomainRecord("lgtvonline.lge.com", "bystander", "san_jose",
-                         "platform"),
-            DomainRecord("api.netflix.com", "bystander", "san_jose", "ott"),
-            DomainRecord("www.youtube.com", "bystander", "san_jose", "ott"),
-        ],
-    },
-    "samsung": {
-        "uk": [
-            DomainRecord("acr-eu-prd.samsungcloud.tv", "samsung", "london",
-                         "acr-fingerprint", ptr_label="acr"),
-            DomainRecord("log-config.samsungacr.com", "samsung", "new_york",
-                         "acr-log", ptr_label="acr"),
-            DomainRecord("log-ingestion-eu.samsungacr.com", "samsung",
-                         "london", "acr-log", ptr_label="acr"),
-        ] + _samsung_numbered() + [
-            DomainRecord("eu.samsungads.com", "samsung", "london", "ads"),
-            DomainRecord("config.samsungads.com", "samsung", "amsterdam",
-                         "ads"),
-            DomainRecord("time.samsungcloudsolution.com", "samsung",
-                         "amsterdam", "platform"),
-            DomainRecord("otn.samsungcloudsolution.com", "samsung",
-                         "amsterdam", "platform"),
-            DomainRecord("api.samsungosp.com", "samsung", "london",
-                         "platform"),
-            DomainRecord("api.netflix.com", "bystander", "london", "ott"),
-            DomainRecord("www.youtube.com", "bystander", "london", "ott"),
-        ],
-        "us": [
-            DomainRecord("acr-us-prd.samsungcloud.tv", "samsung", "san_jose",
-                         "acr-fingerprint", ptr_label="acr"),
-            DomainRecord("log-config.samsungacr.com", "samsung", "new_york",
-                         "acr-log", ptr_label="acr"),
-            DomainRecord("log-ingestion.samsungacr.com", "samsung",
-                         "ashburn", "acr-log", ptr_label="acr"),
-            DomainRecord("us.samsungads.com", "samsung", "new_york", "ads"),
-            DomainRecord("config.samsungads.com", "samsung", "ashburn",
-                         "ads"),
-            DomainRecord("time.samsungcloudsolution.com", "samsung",
-                         "ashburn", "platform"),
-            DomainRecord("otn.samsungcloudsolution.com", "samsung",
-                         "ashburn", "platform"),
-            DomainRecord("api.samsungosp.com", "samsung", "san_jose",
-                         "platform"),
-            DomainRecord("api.netflix.com", "bystander", "san_jose", "ott"),
-            DomainRecord("www.youtube.com", "bystander", "san_jose", "ott"),
-        ],
-    },
-}
 
 
 class DomainRegistry:
     """Catalog of hostnames with allocated ground-truth servers."""
 
     def __init__(self, ipspace: Optional[IpSpace] = None) -> None:
+        from ..tv import vendors
         self.ipspace = ipspace or IpSpace()
         self._records: Dict[str, DomainRecord] = {}
         self._servers: Dict[str, ServerRecord] = {}
-        for vendor_catalog in _CATALOG.values():
-            for records in vendor_catalog.values():
-                for record in records:
+        for profile in vendors.catalog_profiles():
+            for country in profile.countries:
+                for record in profile.domains(country):
                     self._add(record)
 
     def _add(self, record: DomainRecord) -> None:
@@ -164,11 +83,15 @@ class DomainRegistry:
 
     def domains_for(self, vendor: str, country: str) -> List[DomainRecord]:
         """Every catalog entry for one vendor in one country."""
-        try:
-            return list(_CATALOG[vendor][country])
-        except KeyError:
+        from ..tv import vendors
+        if not vendors.is_registered(vendor):
             raise KeyError(
-                f"unknown vendor/country: {vendor!r}/{country!r}") from None
+                f"unknown vendor/country: {vendor!r}/{country!r}")
+        profile = vendors.get(vendor)
+        if country not in profile.countries:
+            raise KeyError(
+                f"unknown vendor/country: {vendor!r}/{country!r}")
+        return list(profile.domains(country))
 
     def record(self, name: str) -> DomainRecord:
         try:
@@ -192,28 +115,27 @@ class DomainRegistry:
 
     def rotating_acr_domain(self, vendor: str, country: str, at_ns: int,
                             seed: int = 0) -> str:
-        """The LG ACR hostname active at virtual time ``at_ns``.
+        """The ACR hostname active at virtual time ``at_ns`` for a vendor
+        with a declared rotation policy (LG's ``eu-acrX`` scheme).
 
-        The index changes every :data:`ROTATION_PERIOD_NS`, derived from a
-        keyed hash so different seeds see different (but stable) schedules —
+        The index changes every rotation period, derived from a keyed
+        hash so different seeds see different (but stable) schedules —
         matching the paper's "X is an arbitrary number that changes
         periodically".
         """
-        if vendor != "lg":
-            raise ValueError("only LG uses rotating ACR hostnames")
-        window = at_ns // ROTATION_PERIOD_NS
-        digest = hashlib.sha256(
-            f"{seed}:{country}:{window}".encode("ascii")).digest()
-        index = 1 + digest[0] % ROTATION_POOL_SIZE
-        prefix = "eu-acr" if country == "uk" else "tkacr"
-        return f"{prefix}{index}.alphonso.tv"
+        from ..tv import vendors
+        if not vendors.is_registered(vendor):
+            raise ValueError(f"unknown vendor: {vendor!r}")
+        profile = vendors.get(vendor)
+        if profile.rotation is None:
+            raise ValueError(
+                f"{vendor} does not use rotating ACR hostnames")
+        return profile.rotating_domain(country, at_ns, seed)
 
     def fingerprint_domain(self, vendor: str, country: str, at_ns: int,
                            seed: int = 0) -> str:
         """The hostname fingerprints are shipped to, per vendor/country."""
-        if vendor == "lg":
-            return self.rotating_acr_domain(vendor, country, at_ns, seed)
-        if vendor == "samsung":
-            return ("acr-eu-prd.samsungcloud.tv" if country == "uk"
-                    else "acr-us-prd.samsungcloud.tv")
-        raise ValueError(f"unknown vendor: {vendor!r}")
+        from ..tv import vendors
+        if not vendors.is_registered(vendor):
+            raise ValueError(f"unknown vendor: {vendor!r}")
+        return vendors.get(vendor).fingerprint_domain(country, at_ns, seed)

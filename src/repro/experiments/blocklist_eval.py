@@ -85,10 +85,10 @@ def run_trial(seed: int,
     baseline = run_experiment(spec, seed=seed)
     baseline_pipeline = AuditPipeline.from_result(baseline)
     baseline_kb = acr_volume_total(baseline_pipeline)
-    active_domain = baseline.registry.rotating_acr_domain(
-        "lg", country.value, 0, seed) if vendor is Vendor.LG else \
-        baseline.registry.fingerprint_domain(vendor.value, country.value,
-                                             0, seed)
+    # fingerprint_domain resolves through the vendor profile, which
+    # covers rotating schemes (LG) and fixed endpoints alike.
+    active_domain = baseline.registry.fingerprint_domain(
+        vendor.value, country.value, 0, seed)
     blocked = run_experiment(spec, seed=seed, dns_blocklist=blocklist)
     blocked_pipeline = AuditPipeline.from_result(blocked)
     leaked_kb = acr_volume_total(blocked_pipeline)

@@ -13,7 +13,7 @@ from ..analysis.cdf import (CumulativeCurve, cumulative_bytes,
 from ..net.addresses import Ipv4Address
 from ..sim.clock import minutes
 from ..testbed.experiment import (Country, ExperimentSpec, Phase, Scenario,
-                                  Vendor)
+                                  Vendor, paper_vendors)
 from . import cache
 
 CDF_WINDOW_START = minutes(5)
@@ -68,10 +68,10 @@ def transmitted_curve(spec: ExperimentSpec,
 
 def build_cdf_figure(country: Country,
                      seed: int = cache.DEFAULT_SEED) -> CdfFigure:
-    """Figure 5 (UK) or Figure 7 (US): both vendors, all scenarios, both
-    opted-in phases."""
+    """Figure 5 (UK) or Figure 7 (US): the paper vendors, all scenarios,
+    both opted-in phases."""
     curves: Dict[CurveKey, CumulativeCurve] = {}
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         for scenario in Scenario:
             for phase in (Phase.LIN_OIN, Phase.LOUT_OIN):
                 spec = ExperimentSpec(vendor, country, scenario, phase)

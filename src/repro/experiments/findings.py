@@ -1,4 +1,5 @@
-"""The paper's headline findings as executable checks (S1-S12).
+"""The paper's headline findings as executable checks (S1-S12), plus the
+extension-vendor findings (X1-X6) contributed by the plugin registry.
 
 Each check returns a :class:`FindingCheck` with pass/fail plus the
 measured evidence, so benches can print the whole scorecard and tests can
@@ -6,11 +7,16 @@ assert every shape target from DESIGN.md.  Cells are consumed through the
 shared :class:`~repro.experiments.grid.GridResults` API;
 :func:`required_specs` names every cell the scorecard reads so
 ``run_all_checks(jobs=N)`` can prefetch them on a process pool.
+
+Every check declares the vendor set it covers; ``run_all_checks`` (and
+the CLI's ``scorecard --vendors``) filters on it.  The S checks read only
+the paper's pair, so a ``--vendors samsung,lg`` scorecard is byte-for-
+byte the pre-registry output.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..analysis.acr_domains import AcrDomainAuditor, no_new_acr_domains
 from ..analysis.compare import (CountryComparison, PhaseComparison,
@@ -18,11 +24,27 @@ from ..analysis.compare import (CountryComparison, PhaseComparison,
 from ..analysis.periodicity import analyze_periodicity
 from ..analysis.volumes import normalize_rotating
 from ..testbed.experiment import (Country, ExperimentSpec, Phase, Scenario,
-                                  Vendor)
+                                  Vendor, paper_vendors)
 from . import cache
 from .fig_timelines import build_figure
 from .geolocation import run_geo_experiment
 from .grid import enumerate_cells
+
+_PAPER_VENDOR_NAMES = frozenset(v.value for v in paper_vendors())
+
+
+def covers(*vendor_names: str) -> Callable:
+    """Decorator tagging a check with the vendors it reads cells for."""
+    def tag(check: Callable) -> Callable:
+        check.vendors = frozenset(vendor_names)
+        return check
+    return tag
+
+
+def paper_finding(check: Callable) -> Callable:
+    """A check over the paper's audited pair only."""
+    check.vendors = _PAPER_VENDOR_NAMES
+    return check
 
 
 class FindingCheck:
@@ -47,21 +69,43 @@ def _pipe(vendor, country, scenario, phase, seed):
         ExperimentSpec(vendor, country, scenario, phase))
 
 
-def required_specs() -> List[ExperimentSpec]:
-    """Every cell the S1-S12 checks read (34 of the 96 in the matrix)."""
+def _paper_filter(**extra) -> Dict[str, Set]:
+    filters = {"vendor": set(paper_vendors())}
+    filters.update(extra)
+    return filters
+
+
+def required_specs(vendors: Optional[Iterable[str]] = None
+                   ) -> List[ExperimentSpec]:
+    """Every cell the selected checks read.
+
+    For the paper pair that is 34 cells (of its 96-cell sub-matrix); the
+    extension checks add their own, much smaller, cell sets.
+    """
+    chosen = _chosen_vendors(vendors)
     specs: Dict[str, ExperimentSpec] = {}
-    for group in (
+    groups: List[List[ExperimentSpec]] = []
+    if _PAPER_VENDOR_NAMES <= chosen:
+        groups += [
             # S1/S3-S8/S12: Linear in every phase, vendor and country.
-            enumerate_cells({"scenario": {Scenario.LINEAR}}),
+            enumerate_cells(_paper_filter(scenario={Scenario.LINEAR})),
             # S1: HDMI in both opted-in phases.
-            enumerate_cells({"scenario": {Scenario.HDMI},
-                             "phase": {Phase.LIN_OIN, Phase.LOUT_OIN}}),
+            enumerate_cells(_paper_filter(
+                scenario={Scenario.HDMI},
+                phase={Phase.LIN_OIN, Phase.LOUT_OIN})),
             # S9: FAST vs Linear in both countries.
-            enumerate_cells({"scenario": {Scenario.FAST},
-                             "phase": {Phase.LIN_OIN}}),
+            enumerate_cells(_paper_filter(scenario={Scenario.FAST},
+                                          phase={Phase.LIN_OIN})),
             # S2/S11: full UK scenario panels.
-            enumerate_cells({"country": {Country.UK},
-                             "phase": {Phase.LIN_OIN}})):
+            enumerate_cells(_paper_filter(country={Country.UK},
+                                          phase={Phase.LIN_OIN})),
+        ]
+    for check in ALL_CHECKS:
+        if check.vendors <= chosen and not check.vendors <= \
+                _PAPER_VENDOR_NAMES:
+            groups.append([ExperimentSpec(*cell)
+                           for cell in check.required_cells])
+    for group in groups:
         for spec in group:
             specs.setdefault(spec.label, spec)
     return list(specs.values())
@@ -72,7 +116,7 @@ def check_s1_linear_and_hdmi_active(seed: int = cache.DEFAULT_SEED
     """S1: ACR traffic present in Linear and HDMI for every opted-in
     phase, vendor and country."""
     failures = []
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         for country in Country:
             for phase in (Phase.LIN_OIN, Phase.LOUT_OIN):
                 for scenario in (Scenario.LINEAR, Scenario.HDMI):
@@ -139,7 +183,7 @@ def check_s4_samsung_more_chatter(seed: int = cache.DEFAULT_SEED
 def check_s5_optout_silence(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
     """S5: opting out silences every ACR domain; none appear anew."""
     failures = []
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         for country in Country:
             opted_in = _pipe(vendor, country, Scenario.LINEAR,
                              Phase.LIN_OIN, seed)
@@ -163,7 +207,7 @@ def check_s6_login_no_effect(seed: int = cache.DEFAULT_SEED
                              ) -> FindingCheck:
     """S6: LIn-OIn vs LOut-OIn: same ACR domain set, similar volumes."""
     failures = []
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         for country in Country:
             a = _pipe(vendor, country, Scenario.LINEAR, Phase.LIN_OIN,
                       seed)
@@ -227,7 +271,7 @@ def check_s9_fast_divergence(seed: int = cache.DEFAULT_SEED
     """S9: FAST behaves like Linear in the US but not in the UK."""
     evidence = []
     passed = True
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         uk_fast = acr_volume_total(_pipe(vendor, Country.UK,
                                          Scenario.FAST, Phase.LIN_OIN,
                                          seed))
@@ -279,7 +323,7 @@ def check_s11_restricted_modes(seed: int = cache.DEFAULT_SEED
     """S11: UK OTT and Screen Cast carry only light keep-alive traffic."""
     evidence = []
     passed = True
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         for scenario in (Scenario.OTT, Scenario.SCREEN_CAST):
             volume = acr_volume_total(_pipe(vendor, Country.UK, scenario,
                                             Phase.LIN_OIN, seed))
@@ -317,7 +361,163 @@ def check_s12_heuristic_validation(seed: int = cache.DEFAULT_SEED
         f"{[r.domain for r in irregular_ads]}")
 
 
-ALL_CHECKS: List[Callable[..., FindingCheck]] = [
+# -- extension-vendor findings (registry-declared behaviours) -----------------
+
+
+def _ext(name: str):
+    """The enum member for one extension vendor name."""
+    return Vendor(name)
+
+
+@covers("roku")
+def check_x1_roku_burst_gating(seed: int = cache.DEFAULT_SEED
+                               ) -> FindingCheck:
+    """X1: Roku-style uploads are content-gated bursts, not periodic."""
+    roku = _ext("roku")
+    linear = _pipe(roku, Country.UK, Scenario.LINEAR, Phase.LIN_OIN, seed)
+    hdmi = _pipe(roku, Country.UK, Scenario.HDMI, Phase.LIN_OIN, seed)
+    fp = next((d for d in linear.acr_candidate_domains()
+               if "ingest" in d), None)
+    if fp is None:
+        return FindingCheck(
+            "X1", "Roku-style SDK uploads burst on content change", False,
+            "no ingest domain observed")
+    cadence = analyze_periodicity(fp, linear.packets_for(fp))
+    linear_kb = linear.kilobytes_for(fp)
+    hdmi_kb = sum(hdmi.kilobytes_for(d)
+                  for d in hdmi.acr_candidate_domains() if "ingest" in d)
+    # Static HDMI content (5-minute dwells) must upload far less than
+    # linear TV with its show/ad boundaries, and the channel must not
+    # look like a fixed-period upload loop.
+    passed = linear_kb > 2 * max(hdmi_kb, 0.1) and not cadence.regular
+    return FindingCheck(
+        "X1", "Roku-style SDK uploads burst on content change", passed,
+        f"linear ingest={linear_kb:.0f}KB, hdmi ingest={hdmi_kb:.0f}KB, "
+        f"linear cadence regular={cadence.regular}")
+
+
+check_x1_roku_burst_gating.required_cells = [
+    (Vendor("roku"), Country.UK, Scenario.LINEAR, Phase.LIN_OIN),
+    (Vendor("roku"), Country.UK, Scenario.HDMI, Phase.LIN_OIN),
+]
+
+
+@covers("roku")
+def check_x2_roku_optout_downsamples(seed: int = cache.DEFAULT_SEED
+                                     ) -> FindingCheck:
+    """X2: Roku-style opt-out reduces — but never silences — uploads."""
+    roku = _ext("roku")
+    opted_in = _pipe(roku, Country.UK, Scenario.LINEAR, Phase.LIN_OIN,
+                     seed)
+    opted_out = _pipe(roku, Country.UK, Scenario.LINEAR, Phase.LIN_OOUT,
+                      seed)
+    in_kb = acr_volume_total(opted_in)
+    out_kb = acr_volume_total(opted_out)
+    passed = (out_kb > 0
+              and out_kb < 0.5 * in_kb
+              and no_new_acr_domains(opted_in, opted_out))
+    return FindingCheck(
+        "X2", "Roku-style opt-out only downsamples ACR traffic", passed,
+        f"opted-in={in_kb:.0f}KB, opted-out={out_kb:.0f}KB "
+        f"({100 * out_kb / in_kb if in_kb else 0:.0f}%)")
+
+
+check_x2_roku_optout_downsamples.required_cells = [
+    (Vendor("roku"), Country.UK, Scenario.LINEAR, Phase.LIN_OIN),
+    (Vendor("roku"), Country.UK, Scenario.LINEAR, Phase.LIN_OOUT),
+]
+
+
+@covers("roku")
+def check_x3_roku_sdk_config_unconditional(
+        seed: int = cache.DEFAULT_SEED) -> FindingCheck:
+    """X3: the third-party SDK config channel survives a full opt-out."""
+    roku = _ext("roku")
+    opted_out = _pipe(roku, Country.UK, Scenario.LINEAR, Phase.LOUT_OOUT,
+                      seed)
+    cfg = [d for d in opted_out.acr_candidate_domains() if "cfg" in d]
+    passed = bool(cfg) and all(
+        opted_out.kilobytes_for(d) > 0 for d in cfg)
+    return FindingCheck(
+        "X3", "Roku-style SDK config channel ignores the opt-out", passed,
+        f"config domains in LOut-OOut: {cfg or 'none'}")
+
+
+check_x3_roku_sdk_config_unconditional.required_cells = [
+    (Vendor("roku"), Country.UK, Scenario.LINEAR, Phase.LOUT_OOUT),
+]
+
+
+@covers("vizio")
+def check_x4_vizio_continuous_cadence(seed: int = cache.DEFAULT_SEED
+                                      ) -> FindingCheck:
+    """X4: Vizio-style fingerprinting is a continuous 10 s drizzle (US)."""
+    vizio = _ext("vizio")
+    us = _pipe(vizio, Country.US, Scenario.LINEAR, Phase.LIN_OIN, seed)
+    domains = us.acr_candidate_domains()
+    if not domains:
+        return FindingCheck(
+            "X4", "Vizio-style continuous 10 s fingerprint cadence (US)",
+            False, "no acr domains observed")
+    report = analyze_periodicity(domains[0], us.packets_for(domains[0]))
+    passed = (report.regular and report.period_s is not None
+              and 8 <= report.period_s <= 12)
+    return FindingCheck(
+        "X4", "Vizio-style continuous 10 s fingerprint cadence (US)",
+        passed, f"{domains[0]}: period={report.period_s}, CV={report.cv}")
+
+
+check_x4_vizio_continuous_cadence.required_cells = [
+    (Vendor("vizio"), Country.US, Scenario.LINEAR, Phase.LIN_OIN),
+]
+
+
+@covers("vizio")
+def check_x5_vizio_consent_default(seed: int = cache.DEFAULT_SEED
+                                   ) -> FindingCheck:
+    """X5: the UK consent default keeps even 'opted-in' phases quiet."""
+    vizio = _ext("vizio")
+    uk = _pipe(vizio, Country.UK, Scenario.LINEAR, Phase.LIN_OIN, seed)
+    us = _pipe(vizio, Country.US, Scenario.LINEAR, Phase.LIN_OIN, seed)
+    uk_kb = acr_volume_total(uk)
+    us_kb = acr_volume_total(us)
+    passed = us_kb > 100.0 and uk_kb < 0.25 * us_kb
+    return FindingCheck(
+        "X5", "Vizio-style country consent default (UK ships opted out)",
+        passed, f"UK LIn-OIn={uk_kb:.0f}KB vs US LIn-OIn={us_kb:.0f}KB")
+
+
+check_x5_vizio_consent_default.required_cells = [
+    (Vendor("vizio"), Country.UK, Scenario.LINEAR, Phase.LIN_OIN),
+    (Vendor("vizio"), Country.US, Scenario.LINEAR, Phase.LIN_OIN),
+]
+
+
+@covers("vizio")
+def check_x6_vizio_shared_endpoint(seed: int = cache.DEFAULT_SEED
+                                   ) -> FindingCheck:
+    """X6: the shared second-party endpoint stays warm without ACR.
+
+    In the UK the consent default disables fingerprinting, yet the
+    ``acr-…`` hostname still appears in captures because the ad stack
+    rides the same endpoint — domain presence alone cannot certify ACR.
+    """
+    vizio = _ext("vizio")
+    uk = _pipe(vizio, Country.UK, Scenario.LINEAR, Phase.LIN_OIN, seed)
+    domains = uk.acr_candidate_domains()
+    kb = sum(uk.kilobytes_for(d) for d in domains)
+    passed = bool(domains) and kb > 0
+    return FindingCheck(
+        "X6", "Vizio-style shared ad/ACR endpoint stays warm sans ACR",
+        passed, f"UK LIn-OIn acr-named domains={domains}, {kb:.0f}KB")
+
+
+check_x6_vizio_shared_endpoint.required_cells = [
+    (Vendor("vizio"), Country.UK, Scenario.LINEAR, Phase.LIN_OIN),
+]
+
+
+_S_CHECKS: List[Callable[..., FindingCheck]] = [
     check_s1_linear_and_hdmi_active,
     check_s2_peak_reduction,
     check_s3_cadences,
@@ -331,21 +531,78 @@ ALL_CHECKS: List[Callable[..., FindingCheck]] = [
     check_s11_restricted_modes,
     check_s12_heuristic_validation,
 ]
+for _check in _S_CHECKS:
+    paper_finding(_check)
+
+ALL_CHECKS: List[Callable[..., FindingCheck]] = _S_CHECKS + [
+    check_x1_roku_burst_gating,
+    check_x2_roku_optout_downsamples,
+    check_x3_roku_sdk_config_unconditional,
+    check_x4_vizio_continuous_cadence,
+    check_x5_vizio_consent_default,
+    check_x6_vizio_shared_endpoint,
+]
+
+
+def _chosen_vendors(vendors: Optional[Iterable[str]]) -> Set[str]:
+    if vendors is None:
+        return {member.value for member in Vendor}
+    chosen = set(vendors)
+    if not chosen:
+        raise ValueError("empty vendor selection")
+    unknown = chosen - {member.value for member in Vendor}
+    if unknown:
+        raise ValueError(f"unknown vendors: {sorted(unknown)}")
+    return chosen
+
+
+def selected_checks(vendors: Optional[Iterable[str]] = None
+                    ) -> List[Callable[..., FindingCheck]]:
+    """The checks whose full vendor coverage fits the selection.
+
+    An empty result is an error, never a silent no-op: "verified
+    nothing, exit 0" must be unreachable from the CLI.
+    """
+    chosen = _chosen_vendors(vendors)
+    checks = [check for check in ALL_CHECKS if check.vendors <= chosen]
+    if not checks:
+        raise ValueError(
+            f"no findings cover vendors {sorted(chosen)} — the paper "
+            f"findings S1-S12 need samsung and lg selected together")
+    return checks
 
 
 def run_all_checks(seed: int = cache.DEFAULT_SEED,
-                   jobs: Optional[int] = None) -> List[FindingCheck]:
-    """The full scorecard.
+                   jobs: Optional[int] = None,
+                   vendors: Optional[Iterable[str]] = None
+                   ) -> List[FindingCheck]:
+    """The scorecard for the selected vendors (default: every vendor).
 
     ``jobs > 1`` prefetches every required cell on a process pool (and
     through the on-disk cache) before the checks read them serially, so
-    the verdicts are identical to a serial run.
+    the verdicts are identical to a serial run.  Restricting ``vendors``
+    to the paper pair reproduces the S1-S12 scorecard byte for byte.
     """
     if jobs and jobs > 1:
-        cache.grid(seed).ensure(required_specs(), jobs=jobs)
-    return [check(seed) for check in ALL_CHECKS]
+        cache.grid(seed).ensure(required_specs(vendors), jobs=jobs)
+    return [check(seed) for check in selected_checks(vendors)]
 
 
-def scorecard(seed: int = cache.DEFAULT_SEED) -> Dict[str, bool]:
+def scorecard(seed: int = cache.DEFAULT_SEED,
+              vendors: Optional[Iterable[str]] = None) -> Dict[str, bool]:
     return {check.finding_id: check.passed
-            for check in run_all_checks(seed)}
+            for check in run_all_checks(seed, vendors=vendors)}
+
+
+def render_checks(checks: List[FindingCheck]) -> str:
+    """The canonical plain-text scorecard.
+
+    Shared by the CLI and the golden-corpus pins so "byte-identical
+    scorecard" is one representation, not two print loops.
+    """
+    lines = []
+    for check in checks:
+        state = "PASS" if check.passed else "FAIL"
+        lines.append(f"[{state}] {check.finding_id}: {check.description}")
+        lines.append(f"       {check.evidence}")
+    return "\n".join(lines) + "\n"

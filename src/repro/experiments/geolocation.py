@@ -13,7 +13,7 @@ from typing import Dict, List
 from ..geo.audit import GeolocationAudit, GeolocationFinding
 from ..sim.rng import RngRegistry
 from ..testbed.experiment import (Country, ExperimentSpec, Phase, Scenario,
-                                  Vendor)
+                                  Vendor, paper_vendors)
 from . import cache
 
 
@@ -46,10 +46,10 @@ class GeoExperiment:
 
 def observed_acr_domains(country: Country,
                          seed: int = cache.DEFAULT_SEED) -> List[str]:
-    """ACR candidates across both vendors' Linear captures (the scenario
-    where every ACR channel is active)."""
+    """ACR candidates across the paper vendors' Linear captures (the
+    scenario where every ACR channel is active)."""
     domains: List[str] = []
-    for vendor in Vendor:
+    for vendor in paper_vendors():
         spec = ExperimentSpec(vendor, country, Scenario.LINEAR,
                               Phase.LIN_OIN)
         pipeline = cache.grid(seed).pipeline(spec)

@@ -16,8 +16,10 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..analysis import analyze_periodicity, median_step_interval_s
+from ..analysis.compare import acr_volume_total
 from ..reporting import render_markdown
-from ..testbed.experiment import Country, ExperimentSpec, Phase, Scenario, Vendor
+from ..testbed.experiment import (Country, ExperimentSpec, Phase, Scenario,
+                                  Vendor, paper_vendors, vendor_profile_of)
 from . import cache
 from .fig_cdf import transmitted_curve
 from .fig_timelines import SCENARIO_LABELS, build_figure
@@ -57,7 +59,7 @@ def timeline_section(seed: int) -> List[str]:
             ("Figure 6 (also Figure 10)", Country.US, Phase.LIN_OIN),
             ("Figure 11", Country.US, Phase.LOUT_OIN)):
         rows = []
-        for vendor in Vendor:
+        for vendor in paper_vendors():
             panel = build_figure(vendor, country, phase, seed)
             for scenario in Scenario:
                 timeline = panel.timelines[scenario]
@@ -127,10 +129,16 @@ def geolocation_section(seed: int) -> List[str]:
     return lines
 
 
-def scorecard_section(seed: int) -> List[str]:
-    lines = ["## Findings scorecard (S1-S12)", ""]
+def scorecard_section(seed: int, vendors=None) -> List[str]:
+    checks = run_all_checks(seed, vendors=vendors)
+    # The paper-pair slice keeps its historical heading (and bytes);
+    # extension findings widen it.
+    extended = any(check.finding_id.startswith("X") for check in checks)
+    title = ("## Findings scorecard (S1-S12 + vendor extensions)"
+             if extended else "## Findings scorecard (S1-S12)")
+    lines = [title, ""]
     rows = []
-    for check in run_all_checks(seed):
+    for check in checks:
         rows.append([check.finding_id,
                      "PASS" if check.passed else "FAIL",
                      check.description,
@@ -138,6 +146,58 @@ def scorecard_section(seed: int) -> List[str]:
     lines.append(render_markdown(
         ["Id", "Result", "Paper finding", "Measured evidence"], rows))
     lines.append("")
+    return lines
+
+
+def _extension_vendors(vendors=None) -> List[Vendor]:
+    """The selected non-paper vendors, in registration order."""
+    chosen = (set(vendors) if vendors is not None
+              else {member.value for member in Vendor})
+    paper = {vendor.value for vendor in paper_vendors()}
+    return [member for member in Vendor
+            if member.value in chosen - paper]
+
+
+def extension_section(seed: int, vendors=None) -> List[str]:
+    """Measured behaviour of the extension vendors, per country.
+
+    These vendors have no paper reference columns; the table reports the
+    registry-declared contract next to what the analysis pipeline
+    actually measured on the Linear cell of each phase class.
+    """
+    extensions = _extension_vendors(vendors)
+    if not extensions:
+        return []
+    lines = ["## Vendor extensions: registry contract vs measured", ""]
+    for vendor in extensions:
+        profile = vendor_profile_of(vendor)
+        contract = profile.contract
+        declared_cadence = ("bursty (content-gated)" if contract.bursty
+                            else f"{contract.cadence_s:.0f} s")
+        lines.append(f"### {profile.display_name} — declared: cadence "
+                     f"{declared_cadence}, opt-out {contract.optout}")
+        lines.append("")
+        rows = []
+        for country in Country:
+            for phase in (Phase.LIN_OIN, Phase.LIN_OOUT):
+                pipeline = cache.grid(seed).pipeline(ExperimentSpec(
+                    vendor, country, Scenario.LINEAR, phase))
+                domains = pipeline.acr_candidate_domains()
+                volume = acr_volume_total(pipeline)
+                cadence = "-"
+                if domains:
+                    report = analyze_periodicity(
+                        domains[0], pipeline.packets_for(domains[0]))
+                    if report.period_s is not None:
+                        cadence = f"{report.period_s:.1f} s"
+                rows.append([
+                    country.value.upper(), phase.value,
+                    profile.expected_activity(country.value, phase),
+                    str(len(domains)), f"{volume:.1f}", cadence])
+        lines.append(render_markdown(
+            ["Country", "Phase", "Declared activity", "ACR domains",
+             "KB", "Measured cadence"], rows))
+        lines.append("")
     return lines
 
 
@@ -164,29 +224,42 @@ def cadence_section(seed: int) -> List[str]:
     return lines
 
 
-def required_specs() -> List[ExperimentSpec]:
-    """Every cell the report reads (56 of the 96 in the matrix)."""
+def required_specs(vendors=None) -> List[ExperimentSpec]:
+    """Every cell the report reads (56 of the paper's 96-cell sub-matrix,
+    plus the scorecard/extension cells of any selected extension vendor)."""
     specs = {}
-    for group in (
-            # Tables 2-5, Figures 4-11 and the CDFs: every scenario in
-            # both opted-in phases.
-            enumerate_cells({"phase": {Phase.LIN_OIN, Phase.LOUT_OIN}}),
-            # The embedded scorecard additionally reads opt-out cells.
-            scorecard_specs()):
+    groups = [
+        # Tables 2-5, Figures 4-11 and the CDFs: every scenario in
+        # both opted-in phases — paper vendors only.
+        enumerate_cells({"vendor": set(paper_vendors()),
+                         "phase": {Phase.LIN_OIN, Phase.LOUT_OIN}}),
+        # The embedded scorecard additionally reads opt-out cells (and
+        # the extension checks' cells when their vendors are selected).
+        scorecard_specs(vendors),
+    ]
+    for vendor in _extension_vendors(vendors):
+        groups.append(enumerate_cells({
+            "vendor": {vendor}, "scenario": {Scenario.LINEAR},
+            "phase": {Phase.LIN_OIN, Phase.LIN_OOUT}}))
+    for group in groups:
         for spec in group:
             specs.setdefault(spec.label, spec)
     return list(specs.values())
 
 
 def generate(seed: int = cache.DEFAULT_SEED,
-             jobs: Optional[int] = None) -> str:
+             jobs: Optional[int] = None, vendors=None) -> str:
     """The full EXPERIMENTS.md content.
 
     ``jobs > 1`` prefetches every cell through the grid runner first;
-    the rendered report is identical to a serial run.
+    the rendered report is identical to a serial run.  ``vendors``
+    restricts the scorecard and extension sections — the paper sections
+    always cover exactly the paper's pair, so
+    ``generate(vendors=("samsung", "lg"))`` reproduces the pre-registry
+    report byte for byte.
     """
     if jobs and jobs > 1:
-        cache.grid(seed).ensure(required_specs(), jobs=jobs)
+        cache.grid(seed).ensure(required_specs(vendors), jobs=jobs)
     lines = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -217,12 +290,13 @@ def generate(seed: int = cache.DEFAULT_SEED,
         "our model matches the Table 2 value (~10.9 KB) in both phases.",
         "",
     ]
-    lines += scorecard_section(seed)
+    lines += scorecard_section(seed, vendors)
     lines += volume_tables_section(seed)
     lines += timeline_section(seed)
     lines += cdf_section(seed)
     lines += cadence_section(seed)
     lines += geolocation_section(seed)
+    lines += extension_section(seed, vendors)
     return "\n".join(lines)
 
 

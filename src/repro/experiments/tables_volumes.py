@@ -11,7 +11,7 @@ from typing import Dict, List, Optional
 
 from ..analysis.volumes import VolumeTable, build_volume_table
 from ..testbed.experiment import (Country, ExperimentSpec, Phase, Scenario,
-                                  Vendor)
+                                  paper_vendors)
 from . import cache
 
 SCENARIO_ORDER = [Scenario.IDLE, Scenario.LINEAR, Scenario.FAST,
@@ -63,12 +63,14 @@ PAPER_TABLES = {
 
 def build_table(country: Country, phase: Phase,
                 seed: int = cache.DEFAULT_SEED) -> VolumeTable:
-    """One appendix table: both vendors' ACR traffic, all scenarios."""
+    """One appendix table: the paper vendors' ACR traffic, all scenarios
+    (extension vendors are reported separately — the paper has no
+    reference columns for them)."""
     pipelines = {}
     acr_domains = {}
     for scenario, name in zip(SCENARIO_ORDER, SCENARIO_NAMES):
         merged_packets_domains: List[str] = []
-        for vendor in Vendor:
+        for vendor in paper_vendors():
             spec = ExperimentSpec(vendor, country, scenario, phase)
             pipeline = cache.grid(seed).pipeline(spec)
             merged_packets_domains.extend(pipeline.acr_candidate_domains())

@@ -18,14 +18,18 @@ import hashlib
 import math
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional
 
-from ..testbed.experiment import Country, Phase, Vendor
+from ..testbed.experiment import Country, Phase, Vendor, paper_vendors
 from .diary import DIARIES, Diary, diary_named
 
 #: Mix axes and their valid values (diary values are registry names).
 MIX_AXES = ("vendor", "country", "phase", "diary")
 
+#: The default population mirrors the paper's audited pair; extension
+#: vendors join a fleet via ``--mix vendor=roku:1,vizio:1,...`` so
+#: default fleet reports stay byte-identical as the registry grows.
 DEFAULT_MIX: Dict[str, Dict[str, float]] = {
-    "vendor": {"samsung": 0.5, "lg": 0.5},
+    "vendor": {vendor.value: 1.0 / len(paper_vendors())
+               for vendor in paper_vendors()},
     "country": {"uk": 0.5, "us": 0.5},
     # Most real households never touch privacy settings; opt-out is the
     # minority configuration the efficacy aggregate measures.

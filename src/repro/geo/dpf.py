@@ -34,6 +34,14 @@ _PARTICIPANTS: List[DpfParticipant] = [
                    uk_extension=True),
     DpfParticipant("Alphonso Inc. (LG Ad Solutions)", ["alphonso"],
                    uk_extension=True),
+    # Extension-vendor operators: the Roku-style SDK licensor is on the
+    # list with the UK bridge; the Vizio-style ad subsidiary is listed
+    # but never joined the UK Extension, so its UK->US viewership flows
+    # have no Data Bridge cover (surfaced by the conformance suite).
+    DpfParticipant("Teletrack Analytics, Inc.", ["teletrack"],
+                   uk_extension=True),
+    DpfParticipant("Inscape-style Data Services, LLC", ["inscape"],
+                   uk_extension=False),
     # A non-participant tracker, so negative lookups are exercised.
     DpfParticipant("Example Analytics Ltd.", ["exampletrack"],
                    uk_extension=False, active=False),

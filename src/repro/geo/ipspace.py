@@ -26,6 +26,12 @@ _BLOCKS: Dict[Tuple[str, str], str] = {
     ("samsung", "ashburn"): "52.21.0.0/24",
     ("samsung", "san_jose"): "35.235.0.0/24",
     ("samsung", "seoul"): "175.45.0.0/24",
+    # Extension-vendor operators: the Roku-style third-party ACR SDK
+    # ("teletrack") and the Vizio-style ad subsidiary ("inscape").
+    ("teletrack", "amsterdam"): "146.75.48.0/24",
+    ("teletrack", "san_jose"): "146.75.49.0/24",
+    ("inscape", "new_york"): "23.21.76.0/24",
+    ("inscape", "san_jose"): "23.21.77.0/24",
     ("bystander", "london"): "151.101.0.0/24",
     ("bystander", "amsterdam"): "151.101.1.0/24",
     ("bystander", "new_york"): "151.101.2.0/24",

@@ -11,6 +11,7 @@ situation this module models.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Mapping
 from typing import Dict, List, Optional, Set
 
 
@@ -64,15 +65,33 @@ class CertificateAuthority:
 OPERATOR_CA = CertificateAuthority("DigiCert-like Operator CA")
 TESTBED_CA = CertificateAuthority("Testbed MITM CA")
 
-# Which hostnames each vendor's clients pin to the operator certificate.
-# Samsung pins its fingerprint ingestion endpoints (uploads are the
-# sensitive channel); LG's webOS client validates against the system
-# trust store only, so a user-installed CA intercepts everything.
-PINNED_DOMAINS: Dict[str, Set[str]] = {
-    "samsung": {"acr-eu-prd.samsungcloud.tv",
-                "acr-us-prd.samsungcloud.tv"},
-    "lg": set(),
-}
+class _RegistryPins(Mapping):
+    """Live view of each vendor profile's declared certificate pins.
+
+    Resolves through the registry on every access (like every other
+    vendor-dispatch site) so vendors registered after this module's
+    import are still covered.
+    """
+
+    def __getitem__(self, vendor: str) -> Set[str]:
+        from ..tv import vendors
+        return set(vendors.get(vendor).pinned_domains)
+
+    def __iter__(self):
+        from ..tv import vendors
+        return iter(vendors.vendor_names())
+
+    def __len__(self) -> int:
+        from ..tv import vendors
+        return len(vendors.vendor_names())
+
+
+# Which hostnames each vendor's clients pin to the operator certificate,
+# as declared on the vendor profiles: Samsung pins its fingerprint
+# ingestion endpoints (uploads are the sensitive channel); LG's webOS
+# client validates against the system trust store only, so a
+# user-installed CA intercepts everything.
+PINNED_DOMAINS: Mapping = _RegistryPins()
 
 
 class TrustStore:

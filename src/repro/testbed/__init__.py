@@ -10,7 +10,8 @@ from .campaign import CampaignRunner, default_artifact_dir
 from .experiment import (Country, DEFAULT_DURATION_NS, ExperimentSpec,
                          Phase, POWER_ON_AT_NS, Scenario,
                          SCENARIO_START_NS, Vendor, full_matrix,
-                         phase_pair, scenario_sweep)
+                         paper_vendors, phase_pair, scenario_sweep,
+                         vendor_profile_of)
 from .runner import (ExperimentResult, build_source, run_experiment,
                      run_session)
 from .validation import ValidationReport, validate, validate_session
@@ -36,7 +37,9 @@ __all__ = [
     "linear_channel",
     "media_library",
     "ott_playlist",
+    "paper_vendors",
     "phase_pair",
+    "vendor_profile_of",
     "reference_library",
     "run_experiment",
     "run_session",

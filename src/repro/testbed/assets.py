@@ -63,7 +63,8 @@ def ui_item() -> ContentItem:
 
 def fresh_backend(vendor: str, country: str, seed: int = 0) -> AcrBackend:
     """A new operator backend over the shared reference library."""
-    operator = "alphonso" if vendor == "lg" else "samsung-ads"
+    from ..tv import vendors
+    operator = vendors.get(vendor).operator
     return AcrBackend(operator, reference_library(country, seed))
 
 

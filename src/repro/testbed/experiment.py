@@ -1,7 +1,9 @@
 """Experiment vocabulary: scenarios, phases, countries, vendors, specs.
 
 One :class:`ExperimentSpec` names a single one-hour capture; the paper's
-full matrix is 6 scenarios x 4 phases x 2 vendors x 2 countries.
+own matrix is 6 scenarios x 4 phases x 2 vendors x 2 countries, and every
+vendor registered in :mod:`repro.tv.vendors` widens the vendor axis (the
+extension vendors make the full grid 4-wide).
 """
 
 from __future__ import annotations
@@ -10,11 +12,25 @@ from enum import Enum
 from typing import List, Tuple
 
 from ..sim.clock import hours, seconds
+from ..tv import vendors as vendor_registry
+
+#: The vendor axis, generated from the plugin registry in registration
+#: order (paper pair first) — registering a fifth vendor extends the grid
+#: without touching this module.
+Vendor = Enum("Vendor", [(name.upper(), name)
+                         for name in vendor_registry.vendor_names()],
+              module=__name__, qualname="Vendor")
+Vendor.__doc__ = "One registered TV vendor (see repro.tv.vendors)."
 
 
-class Vendor(Enum):
-    SAMSUNG = "samsung"
-    LG = "lg"
+def paper_vendors() -> List["Vendor"]:
+    """The vendors the source paper audited, for the scorecard/tables."""
+    return [Vendor(name) for name in vendor_registry.paper_vendor_names()]
+
+
+def vendor_profile_of(vendor: "Vendor"):
+    """The registered profile behind one enum member."""
+    return vendor_registry.get(vendor.value)
 
 
 class Country(Enum):
@@ -95,7 +111,8 @@ class ExperimentSpec:
 
 def full_matrix(duration_ns: int = DEFAULT_DURATION_NS
                 ) -> List[ExperimentSpec]:
-    """Every cell of the paper's 6x4x2x2 design."""
+    """Every cell of the design: scenarios x phases x countries x every
+    registered vendor (the paper's 6x4x2x2 grid, widened per plugin)."""
     specs: List[ExperimentSpec] = []
     for vendor in Vendor:
         for country in Country:

@@ -28,14 +28,12 @@ from ..sim.clock import seconds
 from ..sim.events import EventLoop
 from ..sim.rng import RngRegistry
 from ..tv.device import SmartTV
-from ..tv.lg import LgTv
 from ..tv.power import SmartPlug
 from ..tv.remote import RemoteControl
-from ..tv.samsung import SamsungTv
 from . import assets
 from .access_point import AccessPoint
 from .experiment import (ExperimentSpec, POWER_ON_AT_NS, Scenario,
-                         SCENARIO_START_NS, Vendor)
+                         SCENARIO_START_NS, Vendor, vendor_profile_of)
 
 
 class ExperimentResult:
@@ -81,8 +79,7 @@ def build_source(spec: ExperimentSpec, seed: int) -> InputSource:
     if spec.scenario is Scenario.LINEAR:
         return Tuner(assets.linear_channel(country, 0))
     if spec.scenario is Scenario.FAST:
-        app = "samsung-tv-plus" if spec.vendor is Vendor.SAMSUNG \
-            else "lg-channels"
+        app = vendor_profile_of(spec.vendor).fast_app_id
         return FastApp(app, assets.fast_channel(country, 0))
     if spec.scenario is Scenario.OTT:
         return OttApp("netflix", assets.ott_playlist(country, 0))
@@ -196,7 +193,7 @@ def _run_workflow(spec: ExperimentSpec, seed: int, rng_label: str,
         capture=ap.capture,
     )
     backend = assets.fresh_backend(spec.vendor.value, spec.country.value)
-    tv_class = SamsungTv if spec.vendor is Vendor.SAMSUNG else LgTv
+    tv_class = vendor_profile_of(spec.vendor).device_class
     tv: SmartTV = tv_class(
         country=spec.country.value,
         loop=loop,

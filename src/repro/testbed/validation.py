@@ -73,13 +73,40 @@ def _workflow_checks(report: ValidationReport,
                   "no traffic within 10s of power-on")
 
 
-def _optout_check(report: ValidationReport,
-                  result: ExperimentResult) -> None:
-    if result.spec.phase in (Phase.LIN_OOUT, Phase.LOUT_OOUT):
+def _optout_check(report: ValidationReport, result: ExperimentResult,
+                  single_scenario: bool = True) -> None:
+    if result.spec.phase not in (Phase.LIN_OOUT, Phase.LOUT_OOUT):
+        return
+    from ..acr.policy import CaptureDecision, capture_decision
+    from ..media.sources import SourceType
+    from ..tv import vendors
+    profile = vendors.get(result.spec.vendor.value)
+    stats = result.acr_stats
+    if profile.contract.optout == vendors.OPTOUT_SILENCE:
         report.record("opted-out-client-silent",
-                      result.acr_stats.full_batches == 0
-                      and result.acr_stats.beacons == 0,
-                      f"acr stats: {result.acr_stats}")
+                      stats.full_batches == 0 and stats.beacons == 0,
+                      f"acr stats: {stats}")
+        return
+    # Downsample-on-opt-out vendors must keep uploading at a reduced
+    # rate (no beacons, no bursts) — full silence would be a bug.
+    passed = (stats.beacons == 0 and stats.burst_uploads == 0
+              and stats.disabled_slots > 0)
+    if single_scenario:
+        # For a single-scenario cell we can also demand the uploads
+        # actually happened: required whenever the scenario's capture
+        # decision is FULL and the capture spans at least one
+        # downsampled slot.  (Diary sessions mix scenarios, so only the
+        # weaker shape check applies there.)
+        acr = profile.acr_profiles[result.spec.country.value]
+        decision = capture_decision(
+            profile.name, result.spec.country.value,
+            SourceType(_EXPECTED_SOURCE[result.spec.scenario]))
+        slots = result.spec.duration_ns // acr.batch_interval_ns
+        if decision is CaptureDecision.FULL and \
+                slots > acr.optout_downsample_every:
+            passed = passed and stats.downsampled_batches > 0
+    report.record("opted-out-client-downsampled", passed,
+                  f"acr stats: {stats}")
 
 
 def _scenario_actions(result: ExperimentResult) -> List[str]:
@@ -122,5 +149,5 @@ def validate_session(result: ExperimentResult,
                   _scenario_actions(result) == expected,
                   f"got {_scenario_actions(result)}, want {expected}")
 
-    _optout_check(report, result)
+    _optout_check(report, result, single_scenario=False)
     return report

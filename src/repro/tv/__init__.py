@@ -1,17 +1,21 @@
 """Smart TV device models: privacy settings (Table 1), identifiers,
-background services, the Samsung/LG models, and the automation peripherals
-(smart plug, remote control)."""
+background services, the vendor plugin registry (Samsung/LG plus the
+Roku-style and Vizio-style extension vendors), and the automation
+peripherals (smart plug, remote control)."""
 
 from .device import SmartTV
 from .identifiers import DeviceIdentifiers
-from .lg import LgTv
 from .power import SmartPlug
 from .remote import RemoteControl
-from .samsung import SamsungTv
-from .services import (ServiceSpec, lg_services, samsung_services,
-                       services_for)
-from .settings import (LG_OPT_OUT_OPTIONS, PrivacySettings,
-                       SAMSUNG_OPT_OUT_OPTIONS)
+from .services import ServiceSpec, services_for
+from .settings import PrivacySettings
+from .vendors import (VendorContract, VendorProfile, paper_vendor_names,
+                      vendor_names)
+from .vendors import get as vendor_profile
+from .vendors.lg import LG_OPT_OUT_OPTIONS, LgTv
+from .vendors.roku import RokuTv
+from .vendors.samsung import SAMSUNG_OPT_OUT_OPTIONS, SamsungTv
+from .vendors.vizio import VizioTv
 
 __all__ = [
     "DeviceIdentifiers",
@@ -19,12 +23,17 @@ __all__ = [
     "LgTv",
     "PrivacySettings",
     "RemoteControl",
+    "RokuTv",
     "SAMSUNG_OPT_OUT_OPTIONS",
     "SamsungTv",
     "ServiceSpec",
     "SmartPlug",
     "SmartTV",
-    "lg_services",
-    "samsung_services",
+    "VendorContract",
+    "VendorProfile",
+    "VizioTv",
+    "paper_vendor_names",
     "services_for",
+    "vendor_names",
+    "vendor_profile",
 ]

@@ -54,7 +54,7 @@ class SmartTV(AcrTransport):
         self.backend = backend
         self.seed = seed
         self.identifiers = DeviceIdentifiers(self.vendor, seed)
-        self.settings = PrivacySettings(self.vendor)
+        self.settings = PrivacySettings(self.vendor, country)
         self.profile = profile_for(self.vendor, country)
         self.powered = False
         self.current_source: Optional[InputSource] = None

@@ -26,8 +26,9 @@ class DeviceIdentifiers:
                  "platform_id", "account_id")
 
     def __init__(self, vendor: str, seed: int) -> None:
+        from . import vendors
         self.vendor = vendor
-        prefix = "LGW" if vendor == "lg" else "0C7S"
+        prefix = vendors.get(vendor).serial_prefix
         raw = _digest(seed, f"{vendor}:serial")
         self.serial_number = prefix + raw.hex()[:10].upper()
         self.mac: MacAddress = mac_from_seed(

@@ -5,15 +5,16 @@ platform telemetry, time sync, the app store, and crucially the ad
 platform (``samsungads.com``-style domains), which the paper singles out as
 showing *irregular* contact patterns "unlike other ad/tracking domains".
 Services here are therefore given irregular periods (random skips), while
-the ACR channels in :mod:`repro.tv.samsung` / :mod:`repro.tv.lg` are
-strictly periodic.
+the ACR channels declared by the vendor plugins are strictly periodic.
+
+The per-vendor service lists live with each plugin in
+:mod:`repro.tv.vendors`; :func:`services_for` resolves them through the
+registry.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
-
-from ..sim.clock import minutes, seconds
 
 
 class ServiceSpec:
@@ -52,69 +53,11 @@ class ServiceSpec:
         return f"ServiceSpec({self.name}, {self.domain}, every {period})"
 
 
-def samsung_services(country: str) -> List[ServiceSpec]:
-    """Tizen-like platform chatter."""
-    ads_domain = ("eu.samsungads.com" if country == "uk"
-                  else "us.samsungads.com")
-    return [
-        ServiceSpec("time-sync", "time.samsungcloudsolution.com",
-                    boot_delay_ns=seconds(1.2), boot_request=220,
-                    boot_response=180, period_ns=minutes(30),
-                    request_bytes=220, response_bytes=180),
-        ServiceSpec("firmware", "otn.samsungcloudsolution.com",
-                    boot_delay_ns=seconds(2.5), boot_request=900,
-                    boot_response=1600, period_ns=None,
-                    request_bytes=0, response_bytes=0),
-        ServiceSpec("osp-api", "api.samsungosp.com",
-                    boot_delay_ns=seconds(3.1), boot_request=1200,
-                    boot_response=2600, period_ns=minutes(20),
-                    request_bytes=700, response_bytes=1100,
-                    skip_probability=0.25),
-        # The ad platform: gated on ad consent, deliberately irregular.
-        ServiceSpec("ads", ads_domain,
-                    boot_delay_ns=seconds(4.0), boot_request=1500,
-                    boot_response=2400, period_ns=minutes(7),
-                    request_bytes=1900, response_bytes=3200,
-                    skip_probability=0.45, gate="ads"),
-        ServiceSpec("ads-config", "config.samsungads.com",
-                    boot_delay_ns=seconds(4.6), boot_request=700,
-                    boot_response=1500, period_ns=minutes(25),
-                    request_bytes=700, response_bytes=1500,
-                    skip_probability=0.3, gate="ads"),
-    ]
-
-
-def lg_services(country: str) -> List[ServiceSpec]:
-    """webOS-like platform chatter."""
-    sdp = "gb.lgtvsdp.com" if country == "uk" else "us.lgtvsdp.com"
-    smartad = ("gb.ad.lgsmartad.com" if country == "uk"
-               else "us.ad.lgsmartad.com")
-    return [
-        ServiceSpec("sdp", sdp,
-                    boot_delay_ns=seconds(1.5), boot_request=800,
-                    boot_response=1900, period_ns=minutes(15),
-                    request_bytes=650, response_bytes=900,
-                    skip_probability=0.2),
-        ServiceSpec("ngfts", "ngfts.lge.com",
-                    boot_delay_ns=seconds(2.2), boot_request=600,
-                    boot_response=1400, period_ns=minutes(45),
-                    request_bytes=600, response_bytes=1000),
-        ServiceSpec("portal", "lgtvonline.lge.com",
-                    boot_delay_ns=seconds(3.4), boot_request=1000,
-                    boot_response=2600, period_ns=minutes(30),
-                    request_bytes=800, response_bytes=1700,
-                    skip_probability=0.3),
-        ServiceSpec("smartad", smartad,
-                    boot_delay_ns=seconds(4.3), boot_request=1400,
-                    boot_response=2500, period_ns=minutes(9),
-                    request_bytes=1700, response_bytes=2800,
-                    skip_probability=0.5, gate="ads"),
-    ]
-
-
 def services_for(vendor: str, country: str) -> List[ServiceSpec]:
-    if vendor == "samsung":
-        return samsung_services(country)
-    if vendor == "lg":
-        return lg_services(country)
-    raise ValueError(f"unknown vendor: {vendor!r}")
+    """The registered vendor's background services for one country."""
+    from . import vendors
+    try:
+        profile = vendors.get(vendor)
+    except KeyError:
+        raise ValueError(f"unknown vendor: {vendor!r}") from None
+    return profile.services(country)

@@ -1,80 +1,64 @@
 """Privacy settings model, including the paper's Table 1 opt-out options.
 
-Each vendor exposes its own set of toggles; the experiment phases flip them
-wholesale ("we actively opt-out of all advertising/tracking options
-available directly on the TVs").  ACR specifically hangs off the *viewing
-information* consent: LG's "Viewing information agreement" and Samsung's
-"I consent to viewing information services on this device".
+Each vendor exposes its own set of toggles, declared on its
+:class:`~repro.tv.vendors.base.VendorProfile` ("straight from Table 1"
+for the paper's pair); the experiment phases flip them wholesale ("we
+actively opt-out of all advertising/tracking options available directly
+on the TVs").  ACR specifically hangs off the *viewing information*
+consent: LG's "Viewing information agreement" and Samsung's "I consent to
+viewing information services on this device".
+
+Factory defaults are profile-driven too: the paper's pair defaults to
+everything opted in ("the default option when setting up the TV"), while
+a vendor may declare a country-dependent consent default (the Vizio-style
+extension ships with viewing data OFF in the UK).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
-# (option key, label, value-when-opted-out) — straight from Table 1.
-# ``value-when-opted-out`` captures that some options are *enabled* to
-# opt out (e.g. "Limit ad tracking") while most are disabled.
-LG_OPT_OUT_OPTIONS: List[Tuple[str, str, bool]] = [
-    ("limit_ad_tracking", "Enable Limit ad tracking", True),
-    ("membership_marketing",
-     "TV membership agreement for marketing comms.", False),
-    ("do_not_sell", "Enable Do not sell my personal information", True),
-    ("viewing_information", "Viewing information agreement", False),
-    ("voice_information", "Voice information agreement", False),
-    ("interest_based_ads",
-     "Interest-based & Cross-device advertising agreement", False),
-    ("who_where_what", "Who.Where.What?", False),
-    ("home_promotion", "Home promotion", False),
-    ("content_recommendation", "Content recommendation", False),
-    ("live_plus", "Live plus", False),
-    ("ai_recommendation",
-     "AI recommendation (Who.Where.What, Smart Tips)", False),
-]
-
-SAMSUNG_OPT_OUT_OPTIONS: List[Tuple[str, str, bool]] = [
-    ("viewing_information",
-     "I consent to viewing information services on this device", False),
-    ("interest_based_ads", "I consent to interest-Based advertisements",
-     False),
-    ("customization_service", "Customization Service", False),
-    ("do_not_track", "Enable Do not track", True),
-    ("personalized_ads_improvement", "Improve personalized ads", False),
-    ("news_and_offers", "Get news and special offer", False),
-]
-
-_OPTIONS_BY_VENDOR = {
-    "lg": LG_OPT_OUT_OPTIONS,
-    "samsung": SAMSUNG_OPT_OUT_OPTIONS,
-}
+from typing import Dict, List, Optional, Tuple
 
 
 class PrivacySettings:
     """The state of one TV's privacy toggles plus login state.
 
-    Freshly set-up TVs default to everything opted in — "the default
-    option when setting up the TV" — with ToS/privacy policy necessarily
-    accepted (the TV is unusable otherwise).
+    ``country`` selects the vendor's regional consent default for the
+    viewing-information toggle; omitted (None) means the global default
+    (granted), which is what every paper-vendor region uses.
     """
 
-    def __init__(self, vendor: str) -> None:
-        if vendor not in _OPTIONS_BY_VENDOR:
-            raise ValueError(f"unknown vendor: {vendor!r}")
+    def __init__(self, vendor: str,
+                 country: Optional[str] = None) -> None:
+        from . import vendors
+        try:
+            self._profile = vendors.get(vendor)
+        except KeyError:
+            raise ValueError(f"unknown vendor: {vendor!r}") from None
         self.vendor = vendor
+        self.country = country
         self.tos_accepted = True
         self.logged_in = False
         self._values: Dict[str, bool] = {}
-        self.opt_in_all()
+        self.factory_reset()
 
     # -- phase operations ------------------------------------------------------
 
+    def factory_reset(self) -> None:
+        """The out-of-the-box state: every consent granted except where
+        the vendor declares a regional default (e.g. GDPR-style
+        viewing-data defaults)."""
+        self.opt_in_all()
+        if not self._profile.default_optin(self.country):
+            self._values["viewing_information"] = False
+
     def opt_in_all(self) -> None:
-        """Factory default: every tracking-related consent granted."""
-        for key, __, opted_out_value in _OPTIONS_BY_VENDOR[self.vendor]:
+        """Grant every tracking-related consent."""
+        for key, __, opted_out_value in self._profile.opt_out_options:
             self._values[key] = not opted_out_value
 
     def opt_out_all(self) -> None:
         """Exercise every Table 1 option."""
-        for key, __, opted_out_value in _OPTIONS_BY_VENDOR[self.vendor]:
+        for key, __, opted_out_value in self._profile.opt_out_options:
             self._values[key] = opted_out_value
 
     def login(self) -> None:
@@ -108,21 +92,19 @@ class PrivacySettings:
     @property
     def ads_personalization_enabled(self) -> bool:
         enabled = self._values["interest_based_ads"]
-        if self.vendor == "lg":
-            return enabled and not self._values["limit_ad_tracking"]
-        return enabled and not self._values["do_not_track"]
+        return enabled and not self._values[self._profile.ads_limiter_key]
 
     @property
     def is_opted_out(self) -> bool:
         """True when the full Table 1 opt-out has been exercised."""
         return all(self._values[key] == opted_out_value
                    for key, __, opted_out_value
-                   in _OPTIONS_BY_VENDOR[self.vendor])
+                   in self._profile.opt_out_options)
 
     def describe(self) -> List[Tuple[str, str, bool]]:
         """(key, label, current value) rows, e.g. for Table 1 rendering."""
         return [(key, label, self._values[key])
-                for key, label, __ in _OPTIONS_BY_VENDOR[self.vendor]]
+                for key, label, __ in self._profile.opt_out_options]
 
     def __repr__(self) -> str:
         state = "opted-out" if self.is_opted_out else "opted-in"

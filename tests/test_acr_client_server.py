@@ -99,7 +99,9 @@ class TestPolicyTable:
 
     def test_unknown_profile(self):
         with pytest.raises(KeyError):
-            profile_for("vizio", "uk")
+            profile_for("philips", "uk")
+        with pytest.raises(KeyError):
+            profile_for("vizio", "de")  # registered vendor, bad country
 
 
 class TestClientModes:

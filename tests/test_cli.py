@@ -14,7 +14,17 @@ class TestParser:
 
     def test_invalid_vendor_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "--vendor", "vizio"])
+            build_parser().parse_args(["run", "--vendor", "philips"])
+
+    def test_scorecard_vendors_selection_errors_exit_2(self, capsys):
+        # Unknown names, paper-pair subsets (S checks need both) and
+        # empty selections are usage errors, never silent no-ops.
+        assert main(["scorecard", "--vendors", "philips"]) == 2
+        assert "unknown vendors" in capsys.readouterr().err
+        assert main(["scorecard", "--vendors", "samsung"]) == 2
+        assert "need samsung and lg" in capsys.readouterr().err
+        assert main(["report", "--vendors", " , "]) == 2
+        assert "empty vendor selection" in capsys.readouterr().err
 
     def test_table_number_validated(self):
         with pytest.raises(SystemExit):

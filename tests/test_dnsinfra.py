@@ -54,7 +54,7 @@ class TestCatalog:
 
     def test_unknown_vendor_rejected(self, registry):
         with pytest.raises(KeyError):
-            registry.domains_for("vizio", "uk")
+            registry.domains_for("philips", "uk")
 
     def test_every_domain_has_server(self, registry):
         for name in registry.all_names():

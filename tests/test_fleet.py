@@ -112,7 +112,7 @@ class TestPopulationSampling:
             PopulationSpec(5, mixes={"vendor": {"lg": 0.0,
                                                 "samsung": 0.0}})
         with pytest.raises(MixError, match="unknown vendor"):
-            PopulationSpec(5, mixes={"vendor": {"vizio": 1.0}})
+            PopulationSpec(5, mixes={"vendor": {"philips": 1.0}})
         with pytest.raises(MixError, match="unknown mix axis"):
             PopulationSpec(5, mixes={"colour": {"red": 1.0}})
 
@@ -133,7 +133,7 @@ class TestMixParsing:
 
     def test_unknown_value_rejected(self):
         with pytest.raises(MixError, match="unknown vendor"):
-            parse_mix(["vendor=vizio:1"])
+            parse_mix(["vendor=philips:1"])
 
     def test_bad_weight_rejected(self):
         with pytest.raises(MixError, match="bad weight"):
@@ -169,6 +169,7 @@ class TestDiaries:
             diary_named("doomscroll")
 
 
+@pytest.mark.slow
 class TestMultiSegmentSession:
     def test_session_switches_sources_in_order(self):
         segments = [(Scenario.IDLE, minutes(2)),
@@ -273,6 +274,7 @@ class TestAggregate:
         assert aggregate.mean_cadence_s("lg") == pytest.approx(15.0)
 
 
+@pytest.mark.slow
 class TestFleetRunner:
     POP = dict(households=4, seed=21, mixes=UK_QUICK)
 
@@ -330,6 +332,7 @@ class TestFleetRunner:
         assert seen == [(1, 2), (2, 2)]
 
 
+@pytest.mark.slow
 class TestCliFleet:
     ARGS = ["fleet", "--households", "3", "--seed", "21",
             "--mix", "country=uk:1", "--mix", "diary=second_screen:1"]
@@ -354,7 +357,7 @@ class TestCliFleet:
         assert out_path.read_text() == capsys.readouterr().out
 
     def test_bad_mix_is_an_error(self, capsys):
-        assert main(["fleet", "--mix", "vendor=vizio:1"]) == 2
+        assert main(["fleet", "--mix", "vendor=philips:1"]) == 2
         assert "unknown vendor" in capsys.readouterr().err
 
     def test_bad_households_is_an_error(self, capsys):

@@ -15,9 +15,12 @@ from repro.analysis import Timeline, cumulative_bytes, packets_per_ms
 from repro.net import (CapturedPacket, FlowTable, Ipv4Address, MacAddress,
                        TcpSegment, decode_all, decode_packet, dump_bytes,
                        load_bytes)
+from repro.net.checksum import incremental_update, internet_checksum
 from repro.net.ethernet import ETHERTYPE_IPV4, EthernetFrame
-from repro.net.ip import PROTO_TCP, Ipv4Packet
+from repro.net.ip import PROTO_TCP, PROTO_UDP, Ipv4Packet
+from repro.net.packet import LazyPacket
 from repro.net.tcp import FLAG_ACK
+from repro.net.udp import UdpDatagram
 
 MAC_A = MacAddress.parse("02:00:00:00:00:01")
 MAC_B = MacAddress.parse("02:00:00:00:00:02")
@@ -95,6 +98,132 @@ class TestFullStackCodec:
         table.add_all(decode_all(packets))
         for flow in table.flows:
             assert flow.packets_ab > 0 and flow.packets_ba > 0
+
+
+def _udp_frame(src_ip, dst_ip, sport, dport, payload):
+    datagram = UdpDatagram(sport, dport, payload)
+    ip = Ipv4Packet(src_ip, dst_ip, PROTO_UDP,
+                    datagram.encode(src_ip, dst_ip))
+    return EthernetFrame(MAC_B, MAC_A, ETHERTYPE_IPV4,
+                         ip.encode()).encode()
+
+
+def _outcome(tier, data):
+    """(flow key tuple) on success, or the exception type on failure."""
+    try:
+        packet = tier(CapturedPacket(7, data))
+    except ValueError:
+        return ValueError
+    return (packet.src_ip, packet.dst_ip, packet.src_port,
+            packet.dst_port, packet.flow_proto, packet.length)
+
+
+class TestLazyVsFullDecode:
+    """The lazy tier must be observationally identical to the full
+    decoder: same flow keys and lengths on well-formed frames, and the
+    same raise-vs-tolerate behaviour on truncated or mutated bytes."""
+
+    @given(addresses, addresses, ports, ports, st.binary(max_size=600),
+           st.booleans())
+    @settings(max_examples=60)
+    def test_flow_keys_match_on_wellformed_frames(self, src, dst, sport,
+                                                  dport, payload, use_udp):
+        frame = (_udp_frame if use_udp else _frame)(
+            src, dst, sport, dport, payload)
+        assert _outcome(lambda p: LazyPacket(p.timestamp, p.data),
+                        frame) == _outcome(decode_packet, frame)
+
+    @given(addresses, addresses, ports, ports, st.binary(max_size=300),
+           st.data())
+    @settings(max_examples=80)
+    def test_truncation_raises_identically(self, src, dst, sport, dport,
+                                           payload, data):
+        frame = _frame(src, dst, sport, dport, payload)
+        cut = data.draw(st.integers(min_value=0,
+                                    max_value=len(frame) - 1))
+        truncated = frame[:cut]
+        lazy = _outcome(lambda p: LazyPacket(p.timestamp, p.data),
+                        truncated)
+        full = _outcome(decode_packet, truncated)
+        assert (lazy == ValueError) == (full == ValueError)
+        if lazy != ValueError:
+            assert lazy == full
+
+    @given(addresses, addresses, ports, ports, st.binary(max_size=200),
+           st.data())
+    @settings(max_examples=80)
+    def test_mutation_raises_identically(self, src, dst, sport, dport,
+                                         payload, data):
+        """Mutations in the layers the lazy tier parses (Ethernet + the
+        IPv4 header) must raise identically; anywhere deeper the lazy
+        tier may only be *more* tolerant (it defers transport decode),
+        never stricter."""
+        frame = bytearray(_frame(src, dst, sport, dport, payload))
+        index = data.draw(st.integers(min_value=0,
+                                      max_value=len(frame) - 1))
+        value = data.draw(st.integers(min_value=0, max_value=255))
+        frame[index] = value
+        mutated = bytes(frame)
+        lazy = _outcome(lambda p: LazyPacket(p.timestamp, p.data),
+                        mutated)
+        full = _outcome(decode_packet, mutated)
+        if lazy == ValueError:
+            assert full == ValueError
+        elif full != ValueError:
+            assert lazy == full
+
+    @given(addresses, addresses, ports, st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+        max_size=20))
+    @settings(max_examples=30)
+    def test_dns_views_agree(self, src, dst, sport, label):
+        from repro.net.dns import DnsMessage
+        query = DnsMessage.query(7, f"{label}.example")
+        frame = _udp_frame(src, dst, sport, 53, query.encode())
+        lazy = LazyPacket(11, frame)
+        full = decode_packet(CapturedPacket(11, frame))
+        assert lazy.dns is not None and full.dns is not None
+        assert [q.name for q in lazy.dns.questions] == \
+            [q.name for q in full.dns.questions]
+
+
+class TestIncrementalChecksum:
+    """RFC 1624 incremental update vs recompute-from-scratch."""
+
+    @given(st.binary(min_size=2, max_size=120).filter(
+        lambda b: len(b) % 2 == 0), st.data())
+    @settings(max_examples=120)
+    def test_patch_equals_recompute(self, header, data):
+        offset = data.draw(st.integers(
+            min_value=0, max_value=len(header) // 2 - 1)) * 2
+        width = data.draw(st.integers(
+            min_value=1, max_value=(len(header) - offset) // 2)) * 2
+        new_bytes = data.draw(st.binary(min_size=width, max_size=width))
+        patched = header[:offset] + new_bytes + header[offset + width:]
+        if not any(patched):
+            return  # the all-zero buffer is the documented exclusion
+        original = internet_checksum(header)
+        updated = incremental_update(
+            original, header[offset:offset + width], new_bytes)
+        assert updated == internet_checksum(patched)
+
+    @given(st.binary(min_size=20, max_size=60).filter(
+        lambda b: len(b) % 2 == 0 and any(b)), st.data())
+    @settings(max_examples=60)
+    def test_patch_chain_equals_recompute(self, header, data):
+        """Several successive patches accumulate correctly."""
+        current = bytearray(header)
+        checksum = internet_checksum(bytes(current))
+        for __ in range(data.draw(st.integers(min_value=1, max_value=4))):
+            offset = data.draw(st.integers(
+                min_value=0, max_value=len(current) // 2 - 1)) * 2
+            new_word = data.draw(st.binary(min_size=2, max_size=2))
+            old_word = bytes(current[offset:offset + 2])
+            current[offset:offset + 2] = new_word
+            if not any(current):
+                return
+            checksum = incremental_update(checksum, old_word, new_word)
+            assert checksum == internet_checksum(bytes(current))
 
 
 class TestFingerprintProperties:

@@ -8,8 +8,9 @@ from repro.net import load_bytes
 from repro.sim import hours, minutes
 from repro.testbed import (AccessPoint, CampaignRunner, Country,
                            ExperimentSpec, Phase, Scenario, Vendor,
-                           build_source, full_matrix, phase_pair,
-                           run_experiment, scenario_sweep, validate)
+                           build_source, full_matrix, paper_vendors,
+                           phase_pair, run_experiment, scenario_sweep,
+                           validate)
 from repro.dnsinfra import DomainRegistry, Zone
 from repro.sim import RngRegistry
 
@@ -18,7 +19,8 @@ SHORT = minutes(6)
 
 class TestVocabulary:
     def test_full_matrix_size(self):
-        assert len(full_matrix()) == 6 * 4 * 2 * 2
+        assert len(full_matrix()) == 6 * 4 * 2 * len(Vendor)
+        assert len(paper_vendors()) == 2
 
     def test_phase_semantics(self):
         assert Phase.LIN_OIN.logged_in and Phase.LIN_OIN.opted_in

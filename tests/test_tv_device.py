@@ -184,7 +184,7 @@ class TestServicesCatalog:
         assert services_for("lg", "uk")
         assert services_for("samsung", "us")
         with pytest.raises(ValueError):
-            services_for("vizio", "uk")
+            services_for("philips", "uk")
 
     def test_ads_services_gated(self):
         specs = services_for("samsung", "uk")

@@ -24,7 +24,7 @@ class TestDefaults:
 
     def test_unknown_vendor(self):
         with pytest.raises(ValueError):
-            PrivacySettings("vizio")
+            PrivacySettings("philips")
 
 
 class TestTable1Options:

@@ -1,0 +1,297 @@
+"""Differential vendor-conformance suite.
+
+For every registered vendor x country x phase, run one Linear capture and
+assert the *registry-declared* contract — expected ACR endpoint set,
+cadence (or burstiness), consent default, opt-out effect — against what
+the analysis pipeline actually measures (the same machinery that
+regenerates Tables 1-5).  A vendor plugin whose declared contract drifts
+from its simulated behaviour fails here, not in production.
+
+Also enforces the registry's core invariant by grepping the source tree:
+no module outside ``repro/tv/vendors`` may compare against a vendor name
+or key a dispatch table on one.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.analysis.periodicity import analyze_periodicity
+from repro.analysis.volumes import normalize_rotating
+from repro.experiments import cache as experiment_cache
+from repro.sim.clock import minutes
+from repro.testbed.experiment import (Country, ExperimentSpec, Phase,
+                                      Scenario, Vendor, paper_vendors,
+                                      vendor_profile_of)
+from repro.tv import vendors
+from repro.tv.settings import PrivacySettings
+
+SEED = 7
+#: Long enough for ~11 Samsung batches / ~70 Vizio batches, short enough
+#: that the 32-cell matrix stays a test, not a campaign.
+CONFORMANCE_DURATION_NS = minutes(12)
+
+ALL_CELLS = [(vendor, country, phase)
+             for vendor in Vendor
+             for country in Country
+             for phase in Phase]
+
+
+def _pipeline(vendor: Vendor, country: Country, phase: Phase):
+    spec = ExperimentSpec(vendor, country, Scenario.LINEAR, phase,
+                          duration_ns=CONFORMANCE_DURATION_NS)
+    return experiment_cache.grid(SEED).pipeline(spec)
+
+
+def _acr_kb(pipeline) -> float:
+    return sum(pipeline.kilobytes_for(domain)
+               for domain in pipeline.acr_candidate_domains())
+
+
+def _full_reference_kb(vendor: Vendor) -> float:
+    """The vendor's richest opted-in Linear volume across countries.
+
+    The reference for downsample/ads-only comparisons; cross-country
+    because a consent default can leave one country with no FULL cell at
+    any phase (the Vizio-style UK default).
+    """
+    return max(_acr_kb(_pipeline(vendor, country, Phase.LIN_OIN))
+               for country in Country)
+
+
+# -- registry sanity -----------------------------------------------------------
+
+
+class TestRegistry:
+    def test_four_vendors_registered_in_order(self):
+        assert vendors.vendor_names() == ["samsung", "lg", "roku", "vizio"]
+        assert vendors.paper_vendor_names() == ["samsung", "lg"]
+        assert [v.value for v in Vendor] == vendors.vendor_names()
+
+    def test_catalog_order_is_total_and_paper_first(self):
+        orders = [profile.catalog_order
+                  for profile in vendors.catalog_profiles()]
+        assert orders == sorted(orders) and len(set(orders)) == len(orders)
+        # The paper pair allocated its IP blocks first; extension vendors
+        # must never displace those allocations (cached captures pin
+        # them byte for byte).
+        extension_orders = [profile.catalog_order
+                            for profile in vendors.profiles()
+                            if not profile.audited_in_paper]
+        paper_orders = [profile.catalog_order
+                        for profile in vendors.profiles()
+                        if profile.audited_in_paper]
+        assert max(paper_orders) < min(extension_orders)
+
+    def test_profiles_are_complete(self):
+        for profile in vendors.profiles():
+            for country in profile.countries:
+                assert profile.acr_profiles[country].vendor == profile.name
+                assert profile.services(country)
+                records = profile.domains(country)
+                assert any(record.role == "acr-fingerprint"
+                           for record in records)
+                # The declared fingerprint domain is in the catalog.
+                fingerprint = profile.fingerprint_domain(country, 0, SEED)
+                assert any(record.name == fingerprint
+                           for record in records)
+
+    def test_unknown_vendor_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="unknown vendor: 'philips'"):
+            vendors.get("philips")
+
+    def test_duplicate_registration_rejected(self):
+        existing = vendors.get("samsung")
+        clone = vendors.VendorProfile(
+            name="samsung", display_name="imposter",
+            device_class=existing.device_class, serial_prefix="XX",
+            operator="x", fast_app_id="x",
+            opt_out_options=existing.opt_out_options,
+            ads_limiter_key=existing.ads_limiter_key,
+            services=existing.services,
+            acr_profiles=existing.acr_profiles,
+            capture_decisions=existing.capture_decisions,
+            domains=existing.domains, contract=existing.contract,
+            catalog_order=99,
+            fingerprint_domains=existing.fingerprint_domains)
+        with pytest.raises(ValueError, match="already registered"):
+            vendors.register(clone)
+
+    def test_consent_defaults(self):
+        assert vendor_profile_of(Vendor("vizio")).default_optin("uk") \
+            is False
+        assert vendor_profile_of(Vendor("vizio")).default_optin("us") \
+            is True
+        for vendor in paper_vendors():
+            profile = vendor_profile_of(vendor)
+            assert profile.default_optin("uk") and \
+                profile.default_optin("us")
+
+    def test_settings_follow_consent_default(self):
+        assert PrivacySettings("vizio", "uk").acr_enabled is False
+        assert PrivacySettings("vizio", "us").acr_enabled is True
+        assert PrivacySettings("vizio").acr_enabled is True
+        assert PrivacySettings("samsung", "uk").acr_enabled is True
+
+
+# -- the grep-enforced plugin invariant ---------------------------------------
+
+_VENDOR_NAMES = "samsung|lg|roku|vizio"
+_ENUM_NAMES = "SAMSUNG|LG|ROKU|VIZIO"
+
+#: Vendor-identity dispatch patterns banned outside the vendors package:
+#: equality/identity comparisons against a vendor name and dict literals
+#: keyed by one.  Domain strings ("samsungacr.com") and cell selections
+#: (``_pipe(Vendor.LG, ...)``) are not dispatch and stay legal.
+_BANNED_PATTERNS = [
+    re.compile(rf"(==|!=)\s*[\"']({_VENDOR_NAMES})[\"']"),
+    re.compile(rf"[\"']({_VENDOR_NAMES})[\"']\s*(==|!=)"),
+    re.compile(rf"[\"']({_VENDOR_NAMES})[\"']\s*:"),
+    re.compile(rf"(\bis\b|==|!=)\s+Vendor\.({_ENUM_NAMES})\b"),
+    re.compile(rf"Vendor\.({_ENUM_NAMES})\s+(is|==|!=)\b"),
+]
+
+
+class TestNoVendorDispatchOutsideRegistry:
+    def test_source_tree_is_clean(self):
+        import repro
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+        allowed_prefix = os.path.join(package_root, "tv", "vendors")
+        violations = []
+        for directory, __, names in sorted(os.walk(package_root)):
+            for name in sorted(names):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(directory, name)
+                if path.startswith(allowed_prefix):
+                    continue
+                with open(path, "r", encoding="utf-8") as fileobj:
+                    for number, line in enumerate(fileobj, 1):
+                        for pattern in _BANNED_PATTERNS:
+                            if pattern.search(line):
+                                violations.append(
+                                    f"{os.path.relpath(path, package_root)}"
+                                    f":{number}: {line.strip()}")
+        assert not violations, (
+            "vendor-name dispatch outside repro.tv.vendors:\n"
+            + "\n".join(violations))
+
+
+# -- the differential conformance matrix --------------------------------------
+
+
+@pytest.mark.slow
+class TestConformanceMatrix:
+    """Registry-declared contract vs measured capture, cell by cell."""
+
+    @pytest.mark.parametrize(
+        "vendor,country,phase",
+        ALL_CELLS,
+        ids=[f"{v.value}-{c.value}-{p.value}" for v, c, p in ALL_CELLS])
+    def test_cell_matches_declared_activity(self, vendor, country, phase):
+        profile = vendor_profile_of(vendor)
+        contract = profile.contract
+        activity = profile.expected_activity(country.value, phase)
+        pipeline = _pipeline(vendor, country, phase)
+        measured = pipeline.acr_candidate_domains()
+        normalized = {normalize_rotating(domain) for domain in measured}
+        declared = set(contract.acr_domains[country.value])
+        kb = _acr_kb(pipeline)
+
+        if activity == vendors.ACTIVITY_SILENT:
+            assert not measured, (
+                f"{vendor.value}/{country.value}/{phase.value} declared "
+                f"silent but contacted {measured}")
+            return
+
+        assert measured, (f"{vendor.value}/{country.value}/{phase.value} "
+                          f"declared {activity} but contacted nothing")
+        assert normalized <= declared, (
+            f"undeclared ACR endpoints: {normalized - declared}")
+
+        if activity == vendors.ACTIVITY_FULL:
+            assert normalized == declared, (
+                f"missing declared endpoints: {declared - normalized}")
+            self._assert_cadence(profile, country, pipeline)
+        elif activity == vendors.ACTIVITY_DOWNSAMPLED:
+            reference = _full_reference_kb(vendor)
+            assert 0 < kb < 0.75 * reference, (
+                f"opt-out should downsample, got {kb:.1f}KB vs full "
+                f"{reference:.1f}KB")
+        elif activity == vendors.ACTIVITY_ADS_ONLY:
+            reference = _full_reference_kb(vendor)
+            assert 0 < kb < 0.3 * reference, (
+                f"shared endpoint should carry only ad-stack residue, "
+                f"got {kb:.1f}KB vs full {reference:.1f}KB")
+
+    def _assert_cadence(self, profile, country, pipeline) -> None:
+        fingerprint = profile.fingerprint_domain(country.value, 0, SEED)
+        report = analyze_periodicity(
+            fingerprint, pipeline.packets_for(fingerprint))
+        if profile.contract.bursty:
+            assert not report.regular, (
+                f"{profile.name} declared bursty uploads but "
+                f"{fingerprint} ticks regularly ({report!r})")
+            return
+        declared = profile.contract.cadence_s
+        tolerance = profile.contract.cadence_tolerance_s
+        assert report.period_s is not None, (
+            f"no cadence measurable on {fingerprint} ({report!r})")
+        assert abs(report.period_s - declared) <= tolerance, (
+            f"{profile.name}/{country.value}: declared {declared}s "
+            f"+/- {tolerance}s, measured {report.period_s:.1f}s")
+
+    def test_optout_differential_is_contractual(self):
+        """Opt-out semantics: silence vendors vanish, downsample vendors
+        shrink, shared-endpoint vendors leave ad residue."""
+        for vendor in Vendor:
+            profile = vendor_profile_of(vendor)
+            for country in Country:
+                opted_in = _pipeline(vendor, country, Phase.LIN_OIN)
+                opted_out = _pipeline(vendor, country, Phase.LOUT_OOUT)
+                out_domains = opted_out.acr_candidate_domains()
+                # Never a *new* endpoint after opting out.
+                assert set(out_domains) <= \
+                    set(opted_in.acr_candidate_domains())
+                if profile.contract.optout == vendors.OPTOUT_DOWNSAMPLE:
+                    assert out_domains
+                elif profile.contract.shared_ad_endpoint:
+                    assert out_domains  # ad-stack residue remains
+                else:
+                    assert not out_domains
+
+
+@pytest.mark.slow
+class TestDeviceLevelContracts:
+    """White-box checks the black-box pipeline cannot see."""
+
+    def _result(self, vendor, country, phase):
+        spec = ExperimentSpec(Vendor(vendor), country, Scenario.LINEAR,
+                              phase, duration_ns=CONFORMANCE_DURATION_NS)
+        return experiment_cache.grid(SEED).result(spec)
+
+    def test_roku_bursts_and_gating_counters(self):
+        stats = self._result("roku", Country.UK, Phase.LIN_OIN).acr_stats
+        assert stats.burst_uploads > 0
+        assert stats.content_gated_slots > 0
+        assert stats.downsampled_batches == 0
+
+    def test_roku_optout_downsample_counters(self):
+        stats = self._result("roku", Country.UK, Phase.LIN_OOUT).acr_stats
+        assert stats.downsampled_batches > 0
+        assert stats.burst_uploads == 0
+        assert stats.beacons == 0
+        assert stats.disabled_slots > stats.downsampled_batches
+
+    def test_vizio_uk_consent_default_silences_client(self):
+        stats = self._result("vizio", Country.UK, Phase.LIN_OIN).acr_stats
+        assert stats.full_batches == 0 and stats.beacons == 0
+
+    def test_paper_vendors_unaffected_by_new_client_knobs(self):
+        for vendor in paper_vendors():
+            stats = self._result(vendor.value, Country.UK,
+                                 Phase.LIN_OIN).acr_stats
+            assert stats.burst_uploads == 0
+            assert stats.content_gated_slots == 0
+            assert stats.downsampled_batches == 0
