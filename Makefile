@@ -9,7 +9,7 @@ PY := PYTHONPATH=src python
 COV_FLOOR := 75
 
 .PHONY: test test-fast bench bench-grid bench-fleet bench-json \
-	coverage docs-check golden-update report
+	coverage docs-check golden-update report resume-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -46,6 +46,14 @@ golden-update:
 
 docs-check:
 	$(PY) scripts/docs_check.py
+
+# Streaming-service kill/resume smoke: batch fleet, uninterrupted
+# stream, and a SIGTERMed-then-resumed stream must all render the same
+# report (sha256).  CI runs it at 200 households; the knobs exist for a
+# quicker local loop.
+resume-smoke:
+	$(PY) scripts/resume_smoke.py --households $(or $(SMOKE_N),200) \
+		--jobs $(or $(SMOKE_JOBS),8)
 
 report:
 	$(PY) -m repro.cli report --jobs 4 > EXPERIMENTS.md

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Kill/resume smoke for the streaming audit service.
+
+Drives the real CLI through a full interruption cycle and pins the
+acceptance criterion end to end:
+
+1. batch ``fleet --jobs 1`` and ``fleet --jobs 8`` over N households
+   (the first run populates a shared capture cache; every later step
+   replays it);
+2. an uninterrupted ``serve`` stream;
+3. a ``serve`` stream that is SIGTERMed mid-run (must exit 3 and leave
+   a checkpoint), then resumed with ``--resume``;
+
+and asserts all four stdout reports are sha256-identical.
+
+Usage::
+
+    PYTHONPATH=src python scripts/resume_smoke.py [--households 200]
+        [--jobs 8] [--keep-dir PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+FOLDED = re.compile(r"(\d+)/(\d+) households folded")
+
+
+def sha256(path: str) -> str:
+    with open(path, "rb") as fileobj:
+        return hashlib.sha256(fileobj.read()).hexdigest()
+
+
+def run_cli(arguments, out_path, expect_code=0):
+    print(f"  $ repro.cli {' '.join(arguments)}")
+    started = time.perf_counter()
+    with open(out_path, "wb") as out:
+        process = subprocess.run(
+            [sys.executable, "-m", "repro.cli"] + arguments,
+            stdout=out, stderr=subprocess.PIPE)
+    if process.returncode != expect_code:
+        sys.stderr.write(process.stderr.decode(errors="replace"))
+        raise SystemExit(
+            f"FAIL: exit {process.returncode} (expected {expect_code}) "
+            f"for: {' '.join(arguments)}")
+    print(f"    done in {time.perf_counter() - started:.1f}s")
+    return process
+
+
+def interrupted_serve(arguments, out_path, kill_after_folds):
+    """Start a serve, SIGTERM it once some households have folded."""
+    print(f"  $ repro.cli {' '.join(arguments)}   # will SIGTERM")
+    with open(out_path, "wb") as out:
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli"] + arguments,
+            stdout=out, stderr=subprocess.PIPE, text=True)
+        killed = False
+        for line in process.stderr:
+            match = FOLDED.search(line)
+            if match and not killed and \
+                    int(match.group(1)) >= kill_after_folds:
+                print(f"    SIGTERM at {match.group(0)}")
+                process.send_signal(signal.SIGTERM)
+                killed = True
+        process.wait()
+    if not killed:
+        raise SystemExit(
+            "FAIL: stream finished before reaching "
+            f"{kill_after_folds} folded households — nothing to kill")
+    if process.returncode != 3:
+        raise SystemExit(
+            f"FAIL: interrupted serve exited {process.returncode}, "
+            "expected 3 (graceful stop with checkpoint)")
+    return process
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--households", type=int, default=200)
+    parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--kill-after", type=int, default=None,
+                        help="SIGTERM once this many households folded "
+                             "(default: a quarter of the population)")
+    parser.add_argument("--keep-dir", default=None,
+                        help="work under this directory and keep it "
+                             "(default: a temp dir, removed)")
+    args = parser.parse_args()
+    kill_after = args.kill_after or max(1, args.households // 4)
+
+    work = args.keep_dir or tempfile.mkdtemp(prefix="resume-smoke-")
+    os.makedirs(work, exist_ok=True)
+    cache = os.path.join(work, "cache")
+    print(f"resume smoke: {args.households} households, "
+          f"{args.jobs} jobs, work dir {work}")
+
+    def out(name):
+        return os.path.join(work, name)
+
+    common = ["--households", str(args.households),
+              "--seed", str(args.seed), "--cache-dir", cache]
+    try:
+        print("[1/5] batch fleet --jobs N (cold: populates the cache)")
+        run_cli(["fleet"] + common + ["--jobs", str(args.jobs)],
+                out("batch-jobsN.txt"))
+        print("[2/5] batch fleet --jobs 1 (warm)")
+        run_cli(["fleet"] + common + ["--jobs", "1"],
+                out("batch-jobs1.txt"))
+        print("[3/5] uninterrupted serve")
+        run_cli(["serve"] + common
+                + ["--jobs", str(args.jobs), "--plain",
+                   "--checkpoint-dir", os.path.join(work, "ck-full")],
+                out("stream.txt"))
+        print("[4/5] serve, SIGTERM mid-run")
+        ckdir = os.path.join(work, "ck-interrupted")
+        interrupted_serve(
+            ["serve"] + common
+            + ["--jobs", str(args.jobs), "--plain",
+               "--checkpoint-every", "5", "--checkpoint-dir", ckdir],
+            out("interrupted.txt"), kill_after)
+        checkpoint = os.path.join(ckdir, "service-checkpoint.json")
+        if not os.path.exists(checkpoint):
+            raise SystemExit(f"FAIL: no checkpoint at {checkpoint}")
+        print("[5/5] resume from checkpoint")
+        run_cli(["serve"] + common
+                + ["--jobs", str(args.jobs), "--plain", "--resume",
+                   "--checkpoint-dir", ckdir],
+                out("resumed.txt"))
+
+        digests = {name: sha256(out(name))
+                   for name in ("batch-jobsN.txt", "batch-jobs1.txt",
+                                "stream.txt", "resumed.txt")}
+        for name, digest in sorted(digests.items()):
+            print(f"  sha256 {digest}  {name}")
+        if len(set(digests.values())) != 1:
+            raise SystemExit(
+                "FAIL: reports differ across batch/stream/resume paths")
+        print("OK: streaming, interrupted+resumed and batch reports "
+              "are byte-identical")
+        return 0
+    finally:
+        if not args.keep_dir:
+            shutil.rmtree(work, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

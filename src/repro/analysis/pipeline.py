@@ -11,12 +11,27 @@ decode only where a packet's payload is actually read, i.e. DNS), and
 every consumer — flow table, DNS map, per-domain index, table/figure/
 finding drivers — shares the resulting indexed view instead of
 re-decoding.
+
+Incremental extension
+---------------------
+
+A pipeline can also be grown one capture *segment* at a time
+(:meth:`AuditPipeline.incremental` + :meth:`AuditPipeline.extend`) — the
+streaming service tier feeds it per-household segments as they arrive.
+The invariant that makes this byte-identical to a one-shot decode: a
+packet's domain label is a pure function of its remote IP and the *final*
+DNS map.  Packets are therefore indexed by remote IP at ingest (order
+preserved), and the label -> packets view is materialized lazily at query
+time against the DNS map as observed so far.  After the last segment the
+map equals the batch map, so every query answers exactly as a
+whole-capture pipeline would — regardless of how the capture was cut.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from typing import Dict, List, Optional, Sequence
+from collections import Counter
+from operator import itemgetter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..net.addresses import Ipv4Address
 from ..net.flow import FlowTable
@@ -30,18 +45,25 @@ class AuditPipeline:
 
     def __init__(self, packets: Sequence[DecodedPacket],
                  tv_ip: Ipv4Address) -> None:
-        self.packets = packets
+        self.packets: List[DecodedPacket] = []
         self.tv_ip = tv_ip
-        # Two passes over the shared views: the DNS map must be complete
-        # before packets are labelled (answers name the IPs that later
-        # traffic contacts), then flows and the domain index fill in one
-        # combined sweep.
-        self.dns_map = DnsMap().observe_all(packets)
+        self.dns_map = DnsMap()
         self.flows = FlowTable()
-        self._by_domain: Dict[str, List[DecodedPacket]] = defaultdict(list)
-        self._index(packets)
+        #: remote IP -> [(arrival seq, packet), ...] in capture order.
+        #: Labels are *not* assigned here: a DNS answer later in the
+        #: capture may name an IP contacted earlier, so the label view
+        #: is derived lazily against the complete map (`_domain_index`).
+        self._by_remote: Dict[Ipv4Address,
+                              List[Tuple[int, DecodedPacket]]] = {}
+        self._domain_view: Optional[Dict[str, List[DecodedPacket]]] = None
+        self.extend(packets)
 
     # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def incremental(cls, tv_ip: Ipv4Address) -> "AuditPipeline":
+        """An empty pipeline to be grown with :meth:`extend`."""
+        return cls((), tv_ip)
 
     @classmethod
     def from_pcap_bytes(cls, raw: bytes,
@@ -60,55 +82,100 @@ class AuditPipeline:
 
     # -- indexing ----------------------------------------------------------------
 
-    def _remote_ip(self, packet: DecodedPacket) -> Optional[Ipv4Address]:
-        if packet.src_ip == self.tv_ip:
-            return packet.dst_ip
-        if packet.dst_ip == self.tv_ip:
-            return packet.src_ip
-        return None
+    def extend(self, packets: Iterable[DecodedPacket]) -> "AuditPipeline":
+        """Absorb more packets, in capture order.
 
-    def _index(self, packets: Sequence[DecodedPacket]) -> None:
+        Extends the DNS map, the flow table and the per-remote index in
+        one sweep and invalidates the lazy label view.  Feeding a capture
+        through ``extend`` in any number of slices produces a pipeline
+        whose every query is byte-identical to a one-shot construction.
+        """
         add_flow = self.flows.add
-        label_of = self.dns_map.label
-        by_domain = self._by_domain
+        by_remote = self._by_remote
+        observe = self.dns_map.observe
+        tv_ip = self.tv_ip
+        seq = len(self.packets)
+        appended = self.packets
         for packet in packets:
+            observe(packet)
             add_flow(packet)
-            remote = self._remote_ip(packet)
-            if remote is None:
-                continue
-            if remote.is_private:
-                label = f"lan:{remote}"
+            if packet.src_ip == tv_ip:
+                remote = packet.dst_ip
+            elif packet.dst_ip == tv_ip:
+                remote = packet.src_ip
             else:
-                label = label_of(remote)
-            by_domain[label].append(packet)
+                remote = None
+            if remote is not None:
+                bucket = by_remote.get(remote)
+                if bucket is None:
+                    bucket = by_remote[remote] = []
+                bucket.append((seq, packet))
+            appended.append(packet)
+            seq += 1
+        self._domain_view = None
+        return self
+
+    def extend_pcap_bytes(self, raw: bytes) -> int:
+        """Absorb one pcap-framed capture segment; returns its packet
+        count (the streaming tier's per-segment ingest)."""
+        packets = lazy_decode_all(load_bytes(raw))
+        self.extend(packets)
+        return len(packets)
+
+    def _label(self, remote: Ipv4Address) -> str:
+        if remote.is_private:
+            return f"lan:{remote}"
+        return self.dns_map.label(remote)
+
+    def _domain_index(self) -> Dict[str, List[DecodedPacket]]:
+        """label -> packets (capture order), built against the DNS map
+        as of now and cached until the next :meth:`extend`."""
+        if self._domain_view is None:
+            grouped: Dict[str, List[List[Tuple[int, DecodedPacket]]]] = {}
+            for remote, entries in self._by_remote.items():
+                grouped.setdefault(self._label(remote), []).append(entries)
+            view: Dict[str, List[DecodedPacket]] = {}
+            for label, groups in grouped.items():
+                if len(groups) == 1:
+                    view[label] = [packet for __, packet in groups[0]]
+                else:
+                    # Several IPs resolved to one name: interleave their
+                    # per-IP runs back into capture order.
+                    merged = sorted((entry for group in groups
+                                     for entry in group),
+                                    key=itemgetter(0))
+                    view[label] = [packet for __, packet in merged]
+            self._domain_view = view
+        return self._domain_view
 
     # -- queries ------------------------------------------------------------------
 
     @property
     def contacted_domains(self) -> List[str]:
         """Every resolved Internet domain the TV exchanged traffic with."""
-        return sorted(name for name in self._by_domain
+        return sorted(name for name in self._domain_index()
                       if not name.startswith(("lan:", "unresolved:")))
 
     def packets_for(self, domain: str) -> List[DecodedPacket]:
-        return list(self._by_domain.get(domain, ()))
+        return list(self._domain_index().get(domain, ()))
 
     def packets_for_all(self, domains: List[str]) -> List[DecodedPacket]:
+        index = self._domain_index()
         out: List[DecodedPacket] = []
         for domain in domains:
-            out.extend(self._by_domain.get(domain, ()))
+            out.extend(index.get(domain, ()))
         out.sort(key=lambda p: p.timestamp)
         return out
 
     def bytes_for(self, domain: str) -> int:
         """Total bytes sent + received to/from one domain."""
-        return sum(p.length for p in self._by_domain.get(domain, ()))
+        return sum(p.length for p in self._domain_index().get(domain, ()))
 
     def kilobytes_for(self, domain: str) -> float:
         return self.bytes_for(domain) / 1000.0
 
     def bytes_sent_to(self, domain: str) -> int:
-        return sum(p.length for p in self._by_domain.get(domain, ())
+        return sum(p.length for p in self._domain_index().get(domain, ())
                    if p.src_ip == self.tv_ip)
 
     def upload_timestamps(self, domains: List[str]) -> List[int]:

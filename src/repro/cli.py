@@ -12,6 +12,8 @@
     python -m repro.cli table 2
     python -m repro.cli fleet --households 200 --jobs 8 \
         --mix vendor=roku:1,vizio:1,lg:2,samsung:2
+    python -m repro.cli serve --households 200 --jobs 8 \
+        --checkpoint-dir ck/ --resume
 """
 
 from __future__ import annotations
@@ -137,6 +139,46 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also write the report to this path")
     _add_grid_options(fleet_cmd)
     _add_cache_options(fleet_cmd)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="stream a fleet through the audit service: out-of-order "
+             "segment ingestion, bounded memory, checkpoint/resume; "
+             "report byte-identical to `fleet --jobs 1`")
+    serve_cmd.add_argument("--households", type=int, default=100,
+                           help="population size (default 100)")
+    serve_cmd.add_argument(
+        "--mix", action="append", default=[],
+        metavar="AXIS=VALUE:WEIGHT[,..]",
+        help="population mix for one axis (same syntax as fleet)")
+    serve_cmd.add_argument("--checkpoint-dir", default=None,
+                           help="write periodic atomic snapshots here; "
+                                "required for --resume")
+    serve_cmd.add_argument("--resume", action="store_true",
+                           help="restore the checkpoint in "
+                                "--checkpoint-dir and continue (also "
+                                "grows the fleet in place when "
+                                "--households is larger)")
+    serve_cmd.add_argument("--checkpoint-every", type=int, default=25,
+                           metavar="N",
+                           help="snapshot every N completed households "
+                                "(default 25; 0 = only on exit)")
+    serve_cmd.add_argument("--window", type=int, default=8,
+                           help="max households audited concurrently — "
+                                "the bounded-memory window (default 8)")
+    serve_cmd.add_argument("--credits", type=int, default=4,
+                           help="per-household segment credit window "
+                                "(default 4)")
+    serve_cmd.add_argument("--segments", type=int, default=6,
+                           help="capture segments per household "
+                                "(default 6)")
+    serve_cmd.add_argument("--plain", action="store_true",
+                           help="line-per-household progress instead of "
+                                "the live status line (for logs/CI)")
+    serve_cmd.add_argument("--out", default=None,
+                           help="also write the report to this path")
+    _add_grid_options(serve_cmd)
+    _add_cache_options(serve_cmd)
 
     scorecard_cmd = sub.add_parser(
         "scorecard",
@@ -293,6 +335,92 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from . import fleet as fleet_mod
+    from . import service as service_mod
+    try:
+        mixes = fleet_mod.parse_mix(args.mix)
+        population = fleet_mod.PopulationSpec(
+            args.households, seed=args.seed, mixes=mixes)
+        config = service_mod.ServiceConfig(
+            window=args.window, credits=args.credits,
+            segments=args.segments,
+            checkpoint_every=args.checkpoint_every)
+    except (fleet_mod.MixError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
+    cache, cache_error = _open_cache(args)
+    if cache_error:
+        print(f"error: {cache_error}", file=sys.stderr)
+        return 2
+    print(f"serve: {args.households} households, seed {args.seed}, "
+          f"window {args.window}, {args.jobs} job(s), "
+          f"cache {'off' if cache is None else cache.root}, "
+          f"checkpoints "
+          f"{'off' if not args.checkpoint_dir else args.checkpoint_dir}",
+          file=sys.stderr)
+
+    # A SIGTERM/SIGINT requests a graceful stop: the service writes a
+    # final checkpoint between events, then unwinds.
+    stop = {"requested": False}
+
+    def _request_stop(signum, frame):
+        stop["requested"] = True
+
+    previous = [signal.signal(signal.SIGTERM, _request_stop),
+                signal.signal(signal.SIGINT, _request_stop)]
+
+    def progress(done, total, executed, cached):
+        line = (f"  {done}/{total} households folded "
+                f"({executed} executed, {cached} cached)")
+        if args.plain:
+            print(line, file=sys.stderr)
+        else:
+            print(f"\r{line}", end="", file=sys.stderr, flush=True)
+
+    try:
+        result = service_mod.serve_fleet(
+            population, cache=cache, config=config, jobs=args.jobs,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            progress=progress,
+            stop_check=lambda: stop["requested"])
+    except service_mod.ServiceStopped as exc:
+        if not args.plain:
+            print(file=sys.stderr)
+        print(f"interrupted: {exc}; checkpoint at {exc.checkpoint}",
+              file=sys.stderr)
+        return 3
+    except service_mod.CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        signal.signal(signal.SIGTERM, previous[0])
+        signal.signal(signal.SIGINT, previous[1])
+    if not args.plain:
+        print(file=sys.stderr)
+    print(f"serve done in {result.elapsed_s:.1f}s "
+          f"({result.executed} executed, {result.cached} cached, "
+          f"{result.resumed_households} resumed; "
+          f"{result.segments_delivered} segments, "
+          f"{result.refusals} refusals, peak "
+          f"{result.peak_open_households} open households / "
+          f"{result.peak_tracked_flows} tracked flows)",
+          file=sys.stderr)
+    report = fleet_mod.render_population_report(result.state,
+                                                population)
+    print(report, end="")
+    if args.out:
+        from .util import atomic_write_text
+        atomic_write_text(args.out, report)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def _vendors_selection_error(args) -> Optional[str]:
     """A usage-error message for a bad ``--vendors``, else None.
 
@@ -348,6 +476,7 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "grid": _cmd_grid,
     "fleet": _cmd_fleet,
+    "serve": _cmd_serve,
     "scorecard": _cmd_scorecard,
     "report": _cmd_report,
     "table": _cmd_table,

@@ -24,6 +24,22 @@ from typing import Dict, List, Mapping
 from ..analysis.pipeline import AuditPipeline
 from ..sim.clock import seconds
 
+
+def _add_nonzero(counter: Counter, key, amount: int) -> None:
+    """Accumulate without ever materializing a zero-count entry.
+
+    ``Counter`` equality is plain dict equality, so a counter holding an
+    explicit zero entry compares unequal to an empty one even though
+    they describe the same population.  If
+    folds and merges were allowed to leave explicit zeros behind, an
+    aggregate restored from a checkpoint (which serializes only nonzero
+    counts) would compare unequal to the live aggregate it snapshotted,
+    and ``FleetAggregate()`` would stop being a true merge identity.
+    Every accumulation therefore goes through this guard.
+    """
+    if amount:
+        counter[key] += amount
+
 #: TV→ACR packets closer together than this belong to one contact burst.
 BURST_GAP_NS = seconds(5)
 
@@ -140,17 +156,19 @@ class FleetAggregate:
             self.acr_households_by_vendor[vendor] += 1
             self.acr_households_by_country[country] += 1
         self.acr_bytes += summary["acr_bytes"]
-        self.acr_bytes_by_vendor[vendor] += summary["acr_bytes"]
-        self.acr_bytes_by_country[country] += summary["acr_bytes"]
+        _add_nonzero(self.acr_bytes_by_vendor, vendor,
+                     summary["acr_bytes"])
+        _add_nonzero(self.acr_bytes_by_country, country,
+                     summary["acr_bytes"])
         self.acr_upload_bytes += summary["acr_upload_bytes"]
-        self.acr_upload_bytes_by_vendor[vendor] += \
-            summary["acr_upload_bytes"]
+        _add_nonzero(self.acr_upload_bytes_by_vendor, vendor,
+                     summary["acr_upload_bytes"])
         self.acr_packets += summary["acr_packets"]
         self.acr_bursts += summary["acr_bursts"]
-        self.cadence_sum_ns_by_vendor[vendor] += \
-            summary["cadence_sum_ns"]
-        self.cadence_intervals_by_vendor[vendor] += \
-            summary["cadence_intervals"]
+        _add_nonzero(self.cadence_sum_ns_by_vendor, vendor,
+                     summary["cadence_sum_ns"])
+        _add_nonzero(self.cadence_intervals_by_vendor, vendor,
+                     summary["cadence_intervals"])
 
         if summary["opted_in"]:
             self.optin_households += 1
@@ -164,16 +182,54 @@ class FleetAggregate:
         return self
 
     def merge(self, other: "FleetAggregate") -> "FleetAggregate":
-        """A new aggregate combining two (shards combine this way)."""
+        """A new aggregate combining two (shards combine this way).
+
+        Zero counts never cross a merge: ``Counter.update`` would copy
+        an explicit zero entry verbatim, which would make the result
+        compare unequal to an arithmetically identical aggregate built
+        down a different fold path (see :func:`_add_nonzero`).
+        """
         merged = FleetAggregate()
         for part in (self, other):
             for slot in FleetAggregate.__slots__:
                 value = getattr(part, slot)
                 if isinstance(value, Counter):
-                    getattr(merged, slot).update(value)
+                    target = getattr(merged, slot)
+                    for key, count in value.items():
+                        _add_nonzero(target, key, count)
                 else:
                     setattr(merged, slot, getattr(merged, slot) + value)
         return merged
+
+    # -- checkpoint serialization -----------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot: integers verbatim, Counters as sorted
+        dicts of their nonzero entries (the canonical form — equality
+        with a live aggregate survives the round-trip)."""
+        state: Dict[str, object] = {}
+        for slot in FleetAggregate.__slots__:
+            value = getattr(self, slot)
+            if isinstance(value, Counter):
+                state[slot] = {key: count for key, count
+                               in sorted(value.items()) if count}
+            else:
+                state[slot] = value
+        return state
+
+    @classmethod
+    def from_dict(cls, state: Mapping[str, object]) -> "FleetAggregate":
+        """Rebuild a snapshot written by :meth:`to_dict`."""
+        aggregate = cls()
+        for slot in cls.__slots__:
+            value = state[slot]
+            if isinstance(getattr(aggregate, slot), Counter):
+                counter = getattr(aggregate, slot)
+                for key, count in value.items():
+                    _add_nonzero(counter, key, int(count))
+            else:
+                setattr(aggregate, slot, int(value))
+        return aggregate
 
     # -- derived views ----------------------------------------------------------
 

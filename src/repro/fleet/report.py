@@ -28,9 +28,14 @@ def _kb(total_bytes: int) -> str:
 
 def render_population_report(aggregate: FleetAggregate,
                              population: PopulationSpec) -> str:
-    """The full population report for one fleet run."""
+    """The full population report for one fleet run.
+
+    Accepts either a bare :class:`FleetAggregate` or anything carrying
+    one under ``.aggregate`` (a ``FleetResult``, or the streaming
+    tier's ``LiveState``) — both paths must render byte-identically.
+    """
     sections: List[str] = []
-    agg = aggregate
+    agg = getattr(aggregate, "aggregate", aggregate)
 
     sections.append(
         f"# Fleet audit report\n\n"

@@ -49,14 +49,17 @@ class FleetRunError(RuntimeError):
     """A household session failed validation."""
 
 
-def _audit_household(household: HouseholdSpec,
+def household_record(household: HouseholdSpec,
                      cache: Optional[ResultCache],
-                     validate_results: bool) -> Tuple[dict, bool]:
-    """Run (or recall) one household and reduce it to a summary.
+                     validate_results: bool = True):
+    """Produce (or recall) one household's capture record.
 
-    Returns ``(summary, executed)``.  A cached capture that turns out to
+    Returns ``(record, executed)``.  A cached capture that turns out to
     be unreadable is dropped and the household re-run, mirroring the
-    grid's self-healing behaviour.
+    grid's self-healing behaviour.  This is the single capture-
+    production step shared by the batch shard workers below and the
+    streaming service tier (:mod:`repro.service`), which chops the
+    record's pcap into segments instead of auditing it in one piece.
     """
     diary = household.diary_obj
     record = cache.load_for(household.label, diary.duration_ns,
@@ -84,6 +87,15 @@ def _audit_household(household: HouseholdSpec,
         executed = True
         if cache:
             cache.store(record)
+    return record, executed
+
+
+def _audit_household(household: HouseholdSpec,
+                     cache: Optional[ResultCache],
+                     validate_results: bool) -> Tuple[dict, bool]:
+    """Run (or recall) one household and reduce it to a summary."""
+    record, executed = household_record(household, cache,
+                                        validate_results)
     pipeline = AuditPipeline.from_pcap_bytes(
         record.pcap_bytes, Ipv4Address.parse(record.tv_ip))
     summary = summarize_household(household, pipeline,

@@ -1,0 +1,51 @@
+"""Streaming audit service: incremental household ingestion.
+
+The batch fleet path simulates a household, decodes its whole capture,
+and folds one summary.  This package turns that into a long-lived
+service: per-household capture *segments* arrive out of order on a
+:class:`~repro.service.bus.SegmentBus` (credit-based admission per
+household), an :class:`~repro.service.auditor.IncrementalAuditor`
+extends each household's :class:`~repro.analysis.pipeline.AuditPipeline`
+per arriving segment under a bounded-memory household window, and a
+:class:`~repro.service.state.LiveState` store merges the resulting
+aggregates incrementally into a queryable view (per-vendor ACR rates,
+opt-out violations).  Periodic atomic checkpoints
+(:mod:`repro.service.checkpoint`) make a run killable and resumable —
+and let the population be grown in place — without recomputation.
+
+The one non-negotiable invariant, pinned by
+``tests/test_service_equivalence.py``: any segment interleaving, shard
+count, window, credit schedule or kill/resume point yields a fleet
+report byte-identical to the batch ``fleet --jobs 1`` path.
+
+Exposed on the CLI as ``python -m repro.cli serve``.
+"""
+
+from .auditor import HouseholdIngest, IncrementalAuditor
+from .bus import SegmentBus
+from .checkpoint import (Checkpoint, CheckpointError, checkpoint_path,
+                         load_checkpoint, write_checkpoint)
+from .daemon import (AuditService, ServiceConfig, ServiceResult,
+                     ServiceStopped, serve_fleet)
+from .segments import CaptureSegment, segment_record, split_pcap_bytes
+from .state import LiveState
+
+__all__ = [
+    "AuditService",
+    "CaptureSegment",
+    "Checkpoint",
+    "CheckpointError",
+    "HouseholdIngest",
+    "IncrementalAuditor",
+    "LiveState",
+    "SegmentBus",
+    "ServiceConfig",
+    "ServiceResult",
+    "ServiceStopped",
+    "checkpoint_path",
+    "load_checkpoint",
+    "segment_record",
+    "serve_fleet",
+    "split_pcap_bytes",
+    "write_checkpoint",
+]

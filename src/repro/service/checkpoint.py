@@ -1,0 +1,132 @@
+"""Atomic checkpoint/resume for the streaming audit service.
+
+A checkpoint is one JSON document: the folded
+:class:`~repro.fleet.aggregate.FleetAggregate`, the set of completed
+household indices, the in-flight ingestion cursors (informational — a
+resumed run replays unfinished households from segment 0, since
+captures are recalled from the result cache, not recomputed), and the
+population identity that guards against resuming the wrong fleet.
+
+Written via :func:`repro.util.atomic_write_text`, so a kill at any
+instant leaves either the previous checkpoint or the complete new one —
+never a torn file.  Growth in place is deliberate: resuming with a
+*larger* ``--households`` is allowed (same seed + mixes), so a fleet
+can be extended without re-folding the part already audited.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Mapping, Optional
+
+from ..fleet.aggregate import FleetAggregate
+from ..util import atomic_write_text
+from .state import LiveState
+
+#: Bump on any incompatible change to the checkpoint document.
+CHECKPOINT_VERSION = 1
+
+#: File name inside ``--checkpoint-dir``.
+CHECKPOINT_NAME = "service-checkpoint.json"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint is missing, malformed, or for a different fleet."""
+
+
+def checkpoint_path(directory: str) -> str:
+    return os.path.join(directory, CHECKPOINT_NAME)
+
+
+class Checkpoint:
+    """A loaded (or about-to-be-written) snapshot."""
+
+    __slots__ = ("aggregate", "completed", "cursors", "population_key",
+                 "households", "segments_folded")
+
+    def __init__(self, aggregate: FleetAggregate, completed,
+                 cursors: Mapping[int, int], population_key: str,
+                 households: int, segments_folded: int = 0) -> None:
+        self.aggregate = aggregate
+        self.completed = set(completed)
+        self.cursors = dict(cursors)
+        self.population_key = population_key
+        self.households = households
+        self.segments_folded = segments_folded
+
+    def restore_state(self) -> LiveState:
+        return LiveState(self.aggregate, self.completed)
+
+    def __repr__(self) -> str:
+        return (f"Checkpoint({len(self.completed)}/{self.households} "
+                f"households, {len(self.cursors)} in flight)")
+
+
+def population_key(seed: int, mixes: Mapping[str, Mapping[str, float]]
+                   ) -> str:
+    """Identity of a fleet for resume guarding: seed + mixes, not N.
+
+    Household ``i`` is a pure function of ``(seed, mixes, i)``, so a
+    checkpoint is valid for any population size over the same draws —
+    that is exactly what lets ``--resume`` grow a fleet in place.
+    """
+    canonical = {axis: {value: float(weight)
+                        for value, weight in sorted(weights.items())}
+                 for axis, weights in sorted(mixes.items())}
+    return json.dumps({"seed": seed, "mixes": canonical},
+                      sort_keys=True, separators=(",", ":"))
+
+
+def write_checkpoint(directory: str, state: LiveState,
+                     cursors: Mapping[int, int], key: str,
+                     households: int, segments_folded: int = 0) -> str:
+    """Atomically persist a snapshot; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    document = {
+        "version": CHECKPOINT_VERSION,
+        "population": key,
+        "households": households,
+        "segments_folded": segments_folded,
+        "completed": sorted(state.completed),
+        "cursors": {str(index): ingested
+                    for index, ingested in sorted(cursors.items())},
+        "aggregate": state.aggregate.to_dict(),
+    }
+    path = checkpoint_path(directory)
+    atomic_write_text(path, json.dumps(document, sort_keys=True,
+                                       indent=1) + "\n")
+    return path
+
+
+def load_checkpoint(directory: str,
+                    expect_key: Optional[str] = None) -> Checkpoint:
+    """Read and validate the snapshot under ``directory``."""
+    path = checkpoint_path(directory)
+    try:
+        with open(path, "r", encoding="utf-8") as fileobj:
+            document = json.load(fileobj)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") \
+            from None
+    version = document.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version!r} != {CHECKPOINT_VERSION}")
+    if expect_key is not None and document["population"] != expect_key:
+        raise CheckpointError(
+            "checkpoint belongs to a different fleet (seed/mix "
+            "mismatch); refusing to merge incompatible populations")
+    cursors: Dict[int, int] = {int(index): int(ingested)
+                               for index, ingested
+                               in document["cursors"].items()}
+    return Checkpoint(
+        aggregate=FleetAggregate.from_dict(document["aggregate"]),
+        completed=[int(index) for index in document["completed"]],
+        cursors=cursors,
+        population_key=document["population"],
+        households=int(document["households"]),
+        segments_folded=int(document.get("segments_folded", 0)),
+    )

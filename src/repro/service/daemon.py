@@ -1,0 +1,378 @@
+"""The streaming audit service: an event-loop daemon over the fleet.
+
+``AuditService`` runs the whole streaming tier on a deterministic
+:class:`~repro.sim.events.EventLoop` (virtual time from ``sim.clock``):
+
+* households are admitted in index order, at most ``window`` in flight
+  (the bounded-memory household window);
+* each admitted household's capture — produced synchronously or by a
+  bounded-lookahead process pool, recalled from the shared result cache
+  when warm — is cut into ``segments`` pcap slices whose *offer* times
+  carry a per-segment deterministic jitter, so segments arrive
+  interleaved and out of order;
+* the :class:`~repro.service.bus.SegmentBus` admits offers under the
+  per-household credit window; refusals park the segment until the bus
+  reports a drain, when a retry event is scheduled (never re-entrantly);
+* completed households are finalized by the
+  :class:`~repro.service.auditor.IncrementalAuditor` into
+  :class:`~repro.service.state.LiveState`, freeing an admission slot;
+* every ``checkpoint_every`` completions (and on a stop request) the
+  state is snapshotted atomically.
+
+Scheduling happens purely in virtual time and is a function of
+``(population, config)`` alone — worker pools affect wall clock, never
+state — so the final report is byte-identical to the batch ``fleet
+--jobs 1`` path for every window, credit, segmentation, arrival order
+and kill/resume schedule.  ``tests/test_service_equivalence.py`` pins
+this.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import multiprocessing
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..experiments.grid import ResultCache, warm_assets
+from ..fleet.population import HouseholdSpec, PopulationSpec
+from ..fleet.runner import household_record
+from ..sim.clock import milliseconds, seconds
+from ..sim.events import EventLoop
+from .auditor import IncrementalAuditor
+from .bus import DEFAULT_CREDITS, SegmentBus
+from .checkpoint import (load_checkpoint, population_key,
+                         write_checkpoint)
+from .segments import CaptureSegment, segment_record
+from .state import LiveState
+
+#: Offer jitter spread: segments of one household land within this
+#: virtual span of its admission, in a seq-independent shuffle.
+ARRIVAL_SPREAD_NS = seconds(2)
+
+#: Virtual delay before a parked (refused) segment is re-offered after
+#: the bus reports credit was freed.
+RETRY_DELAY_NS = milliseconds(5)
+
+ProgressFn = Callable[[int, int, int, int], None]
+
+
+class ServiceStopped(RuntimeError):
+    """The run was interrupted; ``checkpoint`` names the snapshot."""
+
+    def __init__(self, message: str, checkpoint: Optional[str]) -> None:
+        super().__init__(message)
+        self.checkpoint = checkpoint
+
+
+class ServiceConfig:
+    """Streaming knobs.  All of them may change between a kill and a
+    resume without perturbing the report — only the fleet identity
+    (seed + mixes) is load-bearing."""
+
+    __slots__ = ("window", "credits", "segments", "checkpoint_every",
+                 "arrival_seed", "validate_results")
+
+    def __init__(self, window: int = 8, credits: int = DEFAULT_CREDITS,
+                 segments: int = 6, checkpoint_every: int = 25,
+                 arrival_seed: Optional[int] = None,
+                 validate_results: bool = True) -> None:
+        if window <= 0:
+            raise ValueError("household window must be positive")
+        if credits <= 0:
+            raise ValueError("credit window must be positive")
+        if segments <= 0:
+            raise ValueError("segments per household must be positive")
+        self.window = window
+        self.credits = credits
+        self.segments = segments
+        self.checkpoint_every = checkpoint_every
+        self.arrival_seed = arrival_seed
+        self.validate_results = validate_results
+
+
+class ServiceResult:
+    """Outcome of one service run: live state plus execution stats."""
+
+    __slots__ = ("state", "population", "executed", "cached",
+                 "resumed_households", "segments_delivered", "refusals",
+                 "peak_open_households", "peak_tracked_flows",
+                 "peak_buffered_segments", "checkpoints_written",
+                 "elapsed_s")
+
+    def __init__(self, state: LiveState, population: PopulationSpec,
+                 executed: int, cached: int, resumed_households: int,
+                 segments_delivered: int, refusals: int,
+                 peak_open_households: int, peak_tracked_flows: int,
+                 peak_buffered_segments: int, checkpoints_written: int,
+                 elapsed_s: float) -> None:
+        self.state = state
+        self.population = population
+        self.executed = executed
+        self.cached = cached
+        self.resumed_households = resumed_households
+        self.segments_delivered = segments_delivered
+        self.refusals = refusals
+        self.peak_open_households = peak_open_households
+        self.peak_tracked_flows = peak_tracked_flows
+        self.peak_buffered_segments = peak_buffered_segments
+        self.checkpoints_written = checkpoints_written
+        self.elapsed_s = elapsed_s
+
+    @property
+    def aggregate(self):
+        return self.state.aggregate
+
+    def __repr__(self) -> str:
+        return (f"ServiceResult({self.state.households} households, "
+                f"{self.segments_delivered} segments, "
+                f"{self.refusals} refusals, "
+                f"{self.elapsed_s:.1f}s)")
+
+
+def _produce(payload) -> Tuple[int, str, bytes, bool]:
+    """Pool worker: produce one household capture (cache-aware)."""
+    household_tuple, cache_root, cache_version, validate = payload
+    household = HouseholdSpec.from_tuple(household_tuple)
+    cache = ResultCache(cache_root, version=cache_version) \
+        if cache_root else None
+    record, executed = household_record(household, cache, validate)
+    return household.index, record.tv_ip, record.pcap_bytes, executed
+
+
+class _CaptureSource:
+    """Produce household captures, optionally ahead on a process pool.
+
+    Lookahead is bounded by the service window, so parent memory holds
+    at most ``window`` undelivered captures — production order is index
+    order, delivery order is the service's admission order (identical),
+    and *none* of this affects virtual-time scheduling.
+    """
+
+    def __init__(self, queue: List[HouseholdSpec],
+                 cache: Optional[ResultCache], jobs: int,
+                 validate: bool, lookahead: int) -> None:
+        self._queue = queue
+        self._cache = cache
+        self._validate = validate
+        self._lookahead = max(1, lookahead)
+        self._jobs = max(1, jobs)
+        self._pool = None
+        self._futures: Dict[int, concurrent.futures.Future] = {}
+        self._next_submit = 0
+        self.executed = 0
+        self.cached = 0
+
+    def __enter__(self) -> "_CaptureSource":
+        if self._jobs > 1 and len(self._queue) > 1:
+            if multiprocessing.get_start_method() == "fork":
+                warm_assets(countries=sorted(
+                    {h.country.value for h in self._queue}))
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                min(self._jobs, len(self._queue)))
+            self._top_up()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._pool is not None:
+            for future in self._futures.values():
+                future.cancel()
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def _payload(self, household: HouseholdSpec):
+        return (household.as_tuple(),
+                self._cache.root if self._cache else None,
+                self._cache.version if self._cache else None,
+                self._validate)
+
+    def _top_up(self) -> None:
+        while (self._next_submit < len(self._queue)
+               and len(self._futures) < self._lookahead):
+            household = self._queue[self._next_submit]
+            self._futures[household.index] = self._pool.submit(
+                _produce, self._payload(household))
+            self._next_submit += 1
+
+    def get(self, household: HouseholdSpec) -> Tuple[str, bytes]:
+        """The capture for one household (blocks on wall time only)."""
+        if self._pool is None:
+            record, executed = household_record(
+                household, self._cache, self._validate)
+            tv_ip, pcap = record.tv_ip, record.pcap_bytes
+        else:
+            future = self._futures.pop(household.index)
+            __, tv_ip, pcap, executed = future.result()
+            self._top_up()
+        if executed:
+            self.executed += 1
+        else:
+            self.cached += 1
+        return tv_ip, pcap
+
+
+class AuditService:
+    """One streaming fleet run over the event loop."""
+
+    def __init__(self, population: PopulationSpec,
+                 cache: Optional[ResultCache] = None,
+                 config: Optional[ServiceConfig] = None, jobs: int = 1,
+                 checkpoint_dir: Optional[str] = None,
+                 resume: bool = False,
+                 progress: Optional[ProgressFn] = None,
+                 stop_check: Optional[Callable[[], bool]] = None) -> None:
+        self.population = population
+        self.cache = cache
+        self.config = config or ServiceConfig()
+        self.jobs = max(1, jobs)
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.progress = progress
+        self.stop_check = stop_check
+        self.checkpoints_written = 0
+
+    # -- deterministic arrival schedule -----------------------------------------
+
+    def _jitter_ns(self, household_index: int, seq: int) -> int:
+        seed = self.config.arrival_seed
+        if seed is None:
+            seed = self.population.seed
+        digest = hashlib.sha256(
+            f"{seed}:arrival:{household_index}:{seq}".encode()).digest()
+        return 1 + int.from_bytes(digest[:8], "big") % ARRIVAL_SPREAD_NS
+
+    # -- the run ----------------------------------------------------------------
+
+    def run(self) -> ServiceResult:
+        started = time.perf_counter()
+        config = self.config
+        key = population_key(self.population.seed,
+                             self.population.mixes)
+
+        state = LiveState()
+        resumed = 0
+        if self.resume:
+            if not self.checkpoint_dir:
+                raise ValueError("--resume needs a checkpoint dir")
+            snapshot = load_checkpoint(self.checkpoint_dir,
+                                       expect_key=key)
+            state = snapshot.restore_state()
+            resumed = len(state.completed)
+
+        queue = [household for household in self.population
+                 if household.index not in state.completed]
+        auditor = IncrementalAuditor(state)
+        loop = EventLoop()
+        total = self.population.households
+        parked: Dict[int, Dict[int, CaptureSegment]] = {}
+        since_checkpoint = 0
+
+        def on_complete(index: int) -> None:
+            nonlocal since_checkpoint
+            parked.pop(index, None)
+            auditor.finalize(index)
+            since_checkpoint += 1
+            if self.progress is not None:
+                self.progress(len(state.completed), total,
+                              source.executed, source.cached)
+            if (self.checkpoint_dir
+                    and config.checkpoint_every
+                    and since_checkpoint >= config.checkpoint_every):
+                since_checkpoint = 0
+                self._checkpoint(state, auditor)
+            admit_next()
+
+        def on_drain(index: int) -> None:
+            if parked.get(index):
+                loop.call_after(RETRY_DELAY_NS, retry, index)
+
+        bus = SegmentBus(auditor.ingest, credits=config.credits,
+                         on_complete=on_complete, on_drain=on_drain)
+
+        def offer(segment: CaptureSegment) -> None:
+            if not bus.offer(segment):
+                parked.setdefault(segment.household_index, {})[
+                    segment.seq] = segment
+
+        def retry(index: int) -> None:
+            waiting = parked.get(index)
+            if not waiting:
+                return
+            # Deterministic retry order; the bus re-parks what the
+            # credit window still refuses.
+            for seq in sorted(waiting):
+                segment = waiting.pop(seq)
+                if not bus.offer(segment):
+                    waiting[segment.seq] = segment
+
+        admit_cursor = 0
+
+        def admit_next() -> None:
+            nonlocal admit_cursor
+            while (admit_cursor < len(queue)
+                   and auditor.open_households < config.window):
+                household = queue[admit_cursor]
+                admit_cursor += 1
+                tv_ip, pcap = source.get(household)
+                segments = segment_record(household.index, pcap,
+                                          config.segments)
+                auditor.open(household, tv_ip)
+                bus.open(household.index, len(segments))
+                for segment in segments:
+                    loop.call_after(
+                        self._jitter_ns(household.index, segment.seq),
+                        offer, segment)
+
+        with _CaptureSource(queue, self.cache, self.jobs,
+                            config.validate_results,
+                            lookahead=config.window) as source:
+            admit_next()
+            while loop.pending:
+                if self.stop_check is not None and self.stop_check():
+                    path = self._checkpoint(state, auditor)
+                    raise ServiceStopped(
+                        f"stop requested with "
+                        f"{len(state.completed)}/{total} households "
+                        f"folded", path)
+                loop.run_to_completion(max_events=1)
+
+        if self.checkpoint_dir:
+            self._checkpoint(state, auditor)
+        return ServiceResult(
+            state=state, population=self.population,
+            executed=source.executed, cached=source.cached,
+            resumed_households=resumed,
+            segments_delivered=bus.delivered, refusals=bus.refused,
+            peak_open_households=auditor.peak_open_households,
+            peak_tracked_flows=auditor.peak_tracked_flows,
+            peak_buffered_segments=bus.peak_buffered,
+            checkpoints_written=self.checkpoints_written,
+            elapsed_s=time.perf_counter() - started)
+
+    def _checkpoint(self, state: LiveState,
+                    auditor: IncrementalAuditor) -> Optional[str]:
+        if not self.checkpoint_dir:
+            return None
+        path = write_checkpoint(
+            self.checkpoint_dir, state, auditor.cursors(),
+            population_key(self.population.seed, self.population.mixes),
+            self.population.households,
+            segments_folded=auditor.segments_ingested)
+        self.checkpoints_written += 1
+        return path
+
+
+def serve_fleet(population: PopulationSpec,
+                cache: Optional[ResultCache] = None,
+                config: Optional[ServiceConfig] = None, jobs: int = 1,
+                checkpoint_dir: Optional[str] = None,
+                resume: bool = False,
+                progress: Optional[ProgressFn] = None,
+                stop_check: Optional[Callable[[], bool]] = None
+                ) -> ServiceResult:
+    """Convenience wrapper: build and run one :class:`AuditService`."""
+    return AuditService(population, cache=cache, config=config,
+                        jobs=jobs, checkpoint_dir=checkpoint_dir,
+                        resume=resume, progress=progress,
+                        stop_check=stop_check).run()

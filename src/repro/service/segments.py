@@ -1,0 +1,106 @@
+"""Capture segmentation: one household pcap, sliced for streaming.
+
+A segment is a self-contained pcap (global header + a contiguous run of
+the original records) so any consumer that reads pcap bytes can ingest
+it directly.  The slicing is byte-preserving: records are located by
+scanning headers, never re-encoded, so
+
+    sum(len(segment) - 24 for segments) + 24 == len(original)
+
+which is what keeps the streaming tier's ``pcap_len`` accounting — and
+therefore the fleet report — byte-identical to the batch path.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from ..net.pcap import GLOBAL_HEADER, MAGIC_USEC, RECORD_HEADER, PcapError
+
+#: Size of the libpcap global header every segment re-carries.
+PCAP_HEADER_LEN = GLOBAL_HEADER.size
+
+
+class CaptureSegment:
+    """One slice of one household's capture, addressed for reassembly."""
+
+    __slots__ = ("household_index", "seq", "total", "payload")
+
+    def __init__(self, household_index: int, seq: int, total: int,
+                 payload: bytes) -> None:
+        if not 0 <= seq < total:
+            raise ValueError(f"segment seq {seq} outside 0..{total - 1}")
+        self.household_index = household_index
+        self.seq = seq
+        self.total = total
+        self.payload = payload
+
+    @property
+    def record_bytes(self) -> int:
+        """Payload length minus the re-carried global header."""
+        return len(self.payload) - PCAP_HEADER_LEN
+
+    def __repr__(self) -> str:
+        return (f"CaptureSegment(hh={self.household_index}, "
+                f"{self.seq + 1}/{self.total}, "
+                f"{len(self.payload)} bytes)")
+
+
+def _record_offsets(raw: bytes) -> List[int]:
+    """Byte offsets of every record header, plus the end offset."""
+    if len(raw) < PCAP_HEADER_LEN:
+        raise PcapError("truncated pcap global header")
+    if struct.unpack_from("<I", raw)[0] != MAGIC_USEC:
+        raise PcapError("segment splitter needs a native-order pcap")
+    offsets = [PCAP_HEADER_LEN]
+    position = PCAP_HEADER_LEN
+    size = len(raw)
+    header = RECORD_HEADER
+    while position < size:
+        if position + header.size > size:
+            raise PcapError("truncated pcap record header")
+        incl_len = header.unpack_from(raw, position)[2]
+        position += header.size + incl_len
+        if position > size:
+            raise PcapError("truncated pcap record data")
+        offsets.append(position)
+    return offsets
+
+
+def split_pcap_bytes(raw: bytes, parts: int) -> List[bytes]:
+    """Slice a pcap into up to ``parts`` contiguous, self-framed chunks.
+
+    Record payloads are copied verbatim; each chunk is prefixed with the
+    original global header.  Captures with fewer packets than ``parts``
+    yield one chunk per packet; an empty capture yields a single
+    header-only chunk.  The split is a pure function of
+    ``(raw, parts)`` — both sides of a kill/resume cycle cut the same
+    capture identically.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    offsets = _record_offsets(raw)
+    header = bytes(raw[:PCAP_HEADER_LEN])
+    records = len(offsets) - 1
+    if records == 0:
+        return [header]
+    parts = min(parts, records)
+    base, extra = divmod(records, parts)
+    chunks: List[bytes] = []
+    start_record = 0
+    for index in range(parts):
+        count = base + (1 if index < extra else 0)
+        lo = offsets[start_record]
+        hi = offsets[start_record + count]
+        chunks.append(header + raw[lo:hi])
+        start_record += count
+    return chunks
+
+
+def segment_record(household_index: int, pcap_bytes: bytes,
+                   parts: int) -> List[CaptureSegment]:
+    """Cut one household capture into addressed segments."""
+    chunks = split_pcap_bytes(pcap_bytes, parts)
+    return [CaptureSegment(household_index, seq, len(chunks), chunk)
+            for seq, chunk in enumerate(chunks)]

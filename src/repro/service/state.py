@@ -1,0 +1,89 @@
+"""Live queryable fleet state, built incrementally.
+
+``LiveState`` is the service's answer surface: the same integer-exact
+:class:`~repro.fleet.aggregate.FleetAggregate` the batch path folds, but
+grown household by household while the stream is still running, plus the
+bookkeeping (which household indices are already folded) that makes
+checkpoint/resume and in-place population growth idempotent.
+
+Because every accumulator is an integer and ``merge``/``fold`` are
+associative and commutative, the state's value — and therefore the
+rendered report — is independent of arrival order, shard count, and
+resume point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..fleet.aggregate import FleetAggregate
+
+
+class LiveState:
+    """Streaming fleet aggregate + completion set + query surface."""
+
+    def __init__(self, aggregate: Optional[FleetAggregate] = None,
+                 completed: Iterable[int] = ()) -> None:
+        self.aggregate = aggregate if aggregate is not None \
+            else FleetAggregate()
+        self.completed = set(completed)
+
+    # -- accumulation -----------------------------------------------------------
+
+    def fold(self, household_index: int,
+             summary: Mapping[str, object]) -> None:
+        """Fold one finished household; refuses double counting."""
+        if household_index in self.completed:
+            raise ValueError(
+                f"household {household_index} already folded")
+        self.aggregate.fold(summary)
+        self.completed.add(household_index)
+
+    def merge_aggregate(self, other: FleetAggregate,
+                        completed: Iterable[int] = ()) -> None:
+        """Absorb a shard-level aggregate (e.g. a restored checkpoint)."""
+        overlap = self.completed.intersection(completed)
+        if overlap:
+            raise ValueError(
+                f"households folded twice: {sorted(overlap)[:5]}...")
+        self.aggregate = self.aggregate.merge(other)
+        self.completed.update(completed)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def households(self) -> int:
+        return self.aggregate.households
+
+    def is_complete(self, household_index: int) -> bool:
+        return household_index in self.completed
+
+    def acr_rate(self) -> float:
+        """Fleet-wide fraction of households with ACR flows."""
+        return self.aggregate.acr_fraction()
+
+    def acr_rate_by_vendor(self) -> Dict[str, float]:
+        """Per-vendor fraction of that vendor's households showing ACR."""
+        agg = self.aggregate
+        return {vendor: agg.acr_households_by_vendor[vendor]
+                / agg.vendors[vendor]
+                for vendor in sorted(agg.vendors)}
+
+    def optout_violations(self) -> Dict[str, object]:
+        """Opt-out efficacy, live: opted-out households still uploading."""
+        agg = self.aggregate
+        return {
+            "optout_households": agg.optout_households,
+            "violating_households": agg.optout_acr_households,
+            "violation_rate": agg.optout_leak_fraction(),
+        }
+
+    def top_domains(self, count: int = 10) -> List[Tuple[str, int]]:
+        """Most-contacted ACR domains (by distinct households)."""
+        items = sorted(self.aggregate.domain_households.items(),
+                       key=lambda item: (-item[1], item[0]))
+        return items[:count]
+
+    def __repr__(self) -> str:
+        return (f"LiveState({self.households} households folded, "
+                f"acr_rate={self.acr_rate():.2f})")

@@ -261,6 +261,42 @@ class TestAggregate:
         assert a.merge(FleetAggregate()) == a
         assert FleetAggregate().merge(a) == a
 
+    def test_merge_identity_with_zero_valued_folds(self):
+        # Regression: SUMMARIES[2] folds zero ACR volume.  The old
+        # merge copied Counter entries verbatim, so a zero count picked
+        # up along one fold path made `a.merge(empty)` compare unequal
+        # to `a` (Counter({"lg": 0}) != Counter()).  Identity must hold
+        # on both sides, including for aggregates with zero-heavy folds
+        # — that is exactly what a fresh checkpoint merge looks like.
+        zero_heavy = folded([SUMMARIES[2]])
+        assert zero_heavy.merge(FleetAggregate()) == zero_heavy
+        assert FleetAggregate().merge(zero_heavy) == zero_heavy
+        # Dict equality is exact: an explicit {"lg": 0} entry would fail.
+        assert zero_heavy.acr_bytes_by_vendor == {}
+
+    def test_merge_never_materializes_zero_counts(self):
+        merged = folded([SUMMARIES[2]]).merge(folded([SUMMARIES[2]]))
+        for name in ("acr_bytes_by_vendor", "acr_upload_bytes_by_vendor",
+                     "cadence_sum_ns_by_vendor",
+                     "cadence_intervals_by_vendor"):
+            counter = getattr(merged, name)
+            assert all(counter.values()), f"zero count left in {name}"
+
+    def test_merge_all_of_nothing_is_the_identity(self):
+        assert merge_all([]) == FleetAggregate()
+        a = folded(SUMMARIES)
+        assert merge_all([]).merge(a) == a
+
+    def test_checkpoint_roundtrip_preserves_equality(self):
+        # The canonical (nonzero-only) serialization must restore an
+        # aggregate that compares equal to the live one it snapshotted,
+        # for zero-heavy and ordinary folds alike.
+        for aggregate in (FleetAggregate(), folded([SUMMARIES[2]]),
+                          folded(SUMMARIES)):
+            restored = FleetAggregate.from_dict(aggregate.to_dict())
+            assert restored == aggregate
+            assert restored.merge(FleetAggregate()) == aggregate
+
     def test_sharded_fold_equals_serial_fold(self):
         serial = folded(SUMMARIES)
         shards = [folded(SUMMARIES[:1]), folded(SUMMARIES[1:3]),
