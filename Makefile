@@ -9,7 +9,8 @@ PY := PYTHONPATH=src python
 COV_FLOOR := 75
 
 .PHONY: test test-fast bench bench-grid bench-fleet bench-json \
-	coverage docs-check golden-update report resume-smoke
+	coverage docs-check golden-update report resume-smoke \
+	metrics-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -54,6 +55,14 @@ docs-check:
 resume-smoke:
 	$(PY) scripts/resume_smoke.py --households $(or $(SMOKE_N),200) \
 		--jobs $(or $(SMOKE_JOBS),8)
+
+# Observability smoke: a small fleet in plain-dashboard mode with a
+# JSONL metrics export, validated against schema v1 by the checker.
+metrics-smoke:
+	$(PY) -m repro.cli fleet --households $(or $(SMOKE_N),16) \
+		--jobs $(or $(SMOKE_JOBS),2) --no-cache --dashboard --plain \
+		--metrics-out metrics.jsonl
+	$(PY) scripts/check_metrics.py metrics.jsonl
 
 report:
 	$(PY) -m repro.cli report --jobs 4 > EXPERIMENTS.md

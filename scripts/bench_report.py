@@ -54,13 +54,35 @@ def microbenches() -> dict:
     }
 
 
+def fold_spans(snapshot: dict) -> dict:
+    """Reduce an obs snapshot to the BENCH-relevant breakdown: per-span
+    count/total/mean wall ms plus the counters that explain them (memo
+    hit rates, lazy-vs-full decode counts)."""
+    spans = {}
+    for name, entry in snapshot.get("histograms", {}).items():
+        if not name.endswith(".wall_ms") or not entry["count"]:
+            continue
+        spans[name[:-len(".wall_ms")]] = {
+            "count": entry["count"],
+            "total_ms": round(entry["sum"], 3),
+            "mean_ms": round(entry["sum"] / entry["count"], 3),
+            "max_ms": round(entry["max"], 3),
+        }
+    return {"spans": spans,
+            "counters": snapshot.get("counters", {})}
+
+
 def end_to_end(minutes: int) -> dict:
     """One cold cell: simulate (template encode) then audit (lazy
     decode).  Assets are warmed first so the numbers isolate the codec
-    path the way the grid/fleet runners see it."""
+    path the way the grid/fleet runners see it.  Runs under a live
+    metrics registry so the span/counter breakdown (fingerprint memo
+    hits, lazy packet counts, phase timings) lands in the JSON beside
+    the stopwatch numbers."""
     from repro.analysis import AuditPipeline
     from repro.experiments.grid import warm_assets
     from repro.net.addresses import Ipv4Address
+    from repro.obs.metrics import disable, enable
     from repro.sim.clock import minutes as minutes_ns
     from repro.testbed import (Country, ExperimentSpec, Phase, Scenario,
                                Vendor, run_experiment)
@@ -68,13 +90,21 @@ def end_to_end(minutes: int) -> dict:
     spec = ExperimentSpec(Vendor.LG, Country.UK, Scenario.LINEAR,
                           Phase.LIN_OIN, duration_ns=minutes_ns(minutes))
     warm_assets([spec])
-    started = time.perf_counter()
-    result = run_experiment(spec, seed=7)
-    encode_s = time.perf_counter() - started
-    started = time.perf_counter()
-    pipeline = AuditPipeline.from_pcap_bytes(
-        result.pcap_bytes, Ipv4Address.parse(result.tv_ip))
-    decode_s = time.perf_counter() - started
+    registry = enable()
+    try:
+        started = time.perf_counter()
+        with registry.span("bench.simulate"):
+            result = run_experiment(spec, seed=7)
+        encode_s = time.perf_counter() - started
+        started = time.perf_counter()
+        with registry.span("bench.decode"):
+            pipeline = AuditPipeline.from_pcap_bytes(
+                result.pcap_bytes, Ipv4Address.parse(result.tv_ip))
+        decode_s = time.perf_counter() - started
+        domains = pipeline.acr_candidate_domains()
+        snapshot = registry.snapshot()
+    finally:
+        disable()
     return {
         "spec": spec.label,
         "simulated_minutes": minutes,
@@ -82,7 +112,8 @@ def end_to_end(minutes: int) -> dict:
         "pcap_bytes": len(result.pcap_bytes),
         "simulate_s": round(encode_s, 3),
         "audit_decode_s": round(decode_s, 3),
-        "acr_domains": pipeline.acr_candidate_domains(),
+        "acr_domains": domains,
+        "obs": fold_spans(snapshot),
     }
 
 

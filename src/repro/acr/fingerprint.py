@@ -23,6 +23,7 @@ import numpy as np
 
 from ..media.content import PlayState
 from ..media.frames import _SCENE_LENGTH_S, render_audio, render_frame
+from ..obs.metrics import get_registry
 
 VIDEO_HASH_BITS = 64
 _DHASH_WIDTH = 9
@@ -159,9 +160,12 @@ def capture_state(state: PlayState, offset_ns: int = 0) -> Capture:
            int(position / _SCENE_LENGTH_S))
     cached = _FINGERPRINT_CACHE.get(key)
     if cached is None:
+        get_registry().inc("acr.memo.miss")
         video = video_fingerprint(render_frame(state))
         audio = audio_fingerprint(render_audio(state))
         cached = _FINGERPRINT_CACHE[key] = (video, tuple(audio))
+    else:
+        get_registry().inc("acr.memo.hit")
     return Capture(offset_ns, cached[0], list(cached[1]))
 
 

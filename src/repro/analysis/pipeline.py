@@ -37,6 +37,7 @@ from ..net.addresses import Ipv4Address
 from ..net.flow import FlowTable
 from ..net.packet import DecodedPacket, lazy_decode_all
 from ..net.pcap import load_bytes
+from ..obs.metrics import get_registry
 from .dns_map import DnsMap
 
 
@@ -94,7 +95,7 @@ class AuditPipeline:
         by_remote = self._by_remote
         observe = self.dns_map.observe
         tv_ip = self.tv_ip
-        seq = len(self.packets)
+        seq = start = len(self.packets)
         appended = self.packets
         for packet in packets:
             observe(packet)
@@ -112,6 +113,10 @@ class AuditPipeline:
                 bucket.append((seq, packet))
             appended.append(packet)
             seq += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("pipeline.extends")
+            registry.inc("pipeline.packets.lazy", seq - start)
         self._domain_view = None
         return self
 
@@ -130,7 +135,9 @@ class AuditPipeline:
     def _domain_index(self) -> Dict[str, List[DecodedPacket]]:
         """label -> packets (capture order), built against the DNS map
         as of now and cached until the next :meth:`extend`."""
+        registry = get_registry()
         if self._domain_view is None:
+            registry.inc("pipeline.domain_view.build")
             grouped: Dict[str, List[List[Tuple[int, DecodedPacket]]]] = {}
             for remote, entries in self._by_remote.items():
                 grouped.setdefault(self._label(remote), []).append(entries)
@@ -146,6 +153,8 @@ class AuditPipeline:
                                     key=itemgetter(0))
                     view[label] = [packet for __, packet in merged]
             self._domain_view = view
+        else:
+            registry.inc("pipeline.domain_view.memo_hit")
         return self._domain_view
 
     # -- queries ------------------------------------------------------------------

@@ -54,6 +54,47 @@ def _parse_vendors(args) -> Optional[List[str]]:
             if name.strip()]
 
 
+def _add_obs_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--dashboard", action="store_true",
+                     help="live ANSI status frame on stderr (degrades "
+                          "to plain progress lines when stderr is not "
+                          "a TTY, NO_COLOR is set, or with --plain)")
+    cmd.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write the run's metrics snapshot here as "
+                          "JSONL (enables metrics collection)")
+
+
+def _obs_start(args):
+    """Enable the metrics registry when observability was asked for.
+
+    Returns the live registry, or ``None`` — in which case the no-op
+    singleton stays active and the run is byte-identical to one without
+    these flags.
+    """
+    if not (getattr(args, "dashboard", False)
+            or getattr(args, "metrics_out", None)):
+        return None
+    from .obs import enable
+    return enable()
+
+
+def _obs_write(args, registry, **meta) -> None:
+    """Export --metrics-out (stable JSONL schema; see docs/cli.md)."""
+    if registry is None or not args.metrics_out:
+        return
+    from .obs.metrics import write_metrics_jsonl
+    write_metrics_jsonl(args.metrics_out, registry.snapshot(),
+                        {"command": args.command, **meta})
+    print(f"wrote {args.metrics_out}", file=sys.stderr)
+
+
+def _obs_stop(registry) -> None:
+    if registry is None:
+        return
+    from .obs import disable
+    disable()
+
+
 def _add_cache_options(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--cache-dir", default=None,
                      help="result-cache directory "
@@ -120,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
              "(vendor/country/scenario/phase); repeatable")
     grid_cmd.add_argument("--minutes", type=int, default=60,
                           help="simulated minutes per cell")
+    grid_cmd.add_argument("--plain", action="store_true",
+                          help="with --dashboard: plain progress lines "
+                               "instead of the live frame")
+    _add_obs_options(grid_cmd)
     _add_cache_options(grid_cmd)
 
     fleet_cmd = sub.add_parser(
@@ -137,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
              "default mix")
     fleet_cmd.add_argument("--out", default=None,
                            help="also write the report to this path")
+    fleet_cmd.add_argument("--plain", action="store_true",
+                           help="plain per-shard progress lines (the "
+                                "default without --dashboard; forces "
+                                "the dashboard's line mode)")
+    _add_obs_options(fleet_cmd)
     _add_grid_options(fleet_cmd)
     _add_cache_options(fleet_cmd)
 
@@ -177,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "the live status line (for logs/CI)")
     serve_cmd.add_argument("--out", default=None,
                            help="also write the report to this path")
+    _add_obs_options(serve_cmd)
     _add_grid_options(serve_cmd)
     _add_cache_options(serve_cmd)
 
@@ -270,19 +321,42 @@ def _cmd_grid(args) -> int:
         return 2
     runner = grid_mod.GridRunner(seed=args.seed, cache=cache,
                                  jobs=args.jobs)
+    registry = _obs_start(args)
     print(f"grid: {len(specs)} cells x {args.minutes} simulated minutes, "
           f"seed {args.seed}, {args.jobs} job(s), "
           f"cache {'off' if cache is None else cache.root}")
 
+    dashboard = None
+    if args.dashboard:
+        from .obs import Dashboard
+        dashboard = Dashboard("grid", len(specs), unit="cells",
+                              plain=args.plain, registry=registry)
+    counts = {"done": 0, "executed": 0, "cached": 0}
+
     def progress(spec, record):
+        counts["done"] += 1
+        counts["cached" if record.from_cache else "executed"] += 1
+        if dashboard is not None:
+            # The dashboard replaces the per-cell log lines.
+            dashboard.update(counts["done"],
+                             executed=counts["executed"],
+                             cached=counts["cached"])
+            return
         origin = "cached" if record.from_cache \
             else f"ran {record.elapsed_s:5.1f}s"
         print(f"  [{origin:>10}] {spec.label}: "
               f"{record.packet_count} packets")
 
     started = time.perf_counter()
-    records = runner.run(specs, progress=progress)
-    elapsed = time.perf_counter() - started
+    try:
+        records = runner.run(specs, progress=progress)
+        elapsed = time.perf_counter() - started
+        if dashboard is not None:
+            dashboard.finish(note=f"done in {elapsed:.1f}s")
+        _obs_write(args, registry, cells=len(specs), seed=args.seed,
+                   jobs=args.jobs)
+    finally:
+        _obs_stop(registry)
     executed = sum(not record.from_cache for record in records)
     print(render_table(
         ["cells", "executed", "cache hits", "packets", "pcap MB",
@@ -309,6 +383,7 @@ def _cmd_fleet(args) -> int:
         print(f"error: {cache_error}", file=sys.stderr)
         return 2
     runner = fleet_mod.FleetRunner(cache=cache, jobs=args.jobs)
+    registry = _obs_start(args)
     # Progress and timing go to stderr: the stdout report is a pure
     # function of (population, seed) — byte-identical across --jobs.
     print(f"fleet: {args.households} households, seed {args.seed}, "
@@ -316,12 +391,33 @@ def _cmd_fleet(args) -> int:
           f"cache {'off' if cache is None else cache.root}",
           file=sys.stderr)
 
+    dashboard = None
+    if args.dashboard:
+        from .obs import Dashboard
+        dashboard = Dashboard("fleet", args.households,
+                              unit="households", plain=args.plain,
+                              registry=registry)
+
     def progress(done, total, executed, cached):
         print(f"  shard {done}/{total} "
               f"({executed} executed, {cached} cached)",
               file=sys.stderr)
 
-    result = runner.run(population, progress=progress)
+    def observer(done, total, executed, cached, aggregate):
+        dashboard.update(aggregate.households, executed=executed,
+                         cached=cached, aggregate=aggregate)
+
+    try:
+        result = runner.run(
+            population,
+            progress=None if dashboard is not None else progress,
+            observer=observer if dashboard is not None else None)
+        if dashboard is not None:
+            dashboard.finish(note=f"done in {result.elapsed_s:.1f}s")
+        _obs_write(args, registry, households=args.households,
+                   seed=args.seed, jobs=args.jobs)
+    finally:
+        _obs_stop(registry)
     print(f"fleet done in {result.elapsed_s:.1f}s "
           f"({result.executed} executed, {result.cached} cached)",
           file=sys.stderr)
@@ -358,12 +454,20 @@ def _cmd_serve(args) -> int:
     if cache_error:
         print(f"error: {cache_error}", file=sys.stderr)
         return 2
+    registry = _obs_start(args)
     print(f"serve: {args.households} households, seed {args.seed}, "
           f"window {args.window}, {args.jobs} job(s), "
           f"cache {'off' if cache is None else cache.root}, "
           f"checkpoints "
           f"{'off' if not args.checkpoint_dir else args.checkpoint_dir}",
           file=sys.stderr)
+
+    dashboard = None
+    if args.dashboard:
+        from .obs import Dashboard
+        dashboard = Dashboard("serve", args.households,
+                              unit="households", plain=args.plain,
+                              registry=registry)
 
     # A SIGTERM/SIGINT requests a graceful stop: the service writes a
     # final checkpoint between events, then unwinds.
@@ -383,14 +487,23 @@ def _cmd_serve(args) -> int:
         else:
             print(f"\r{line}", end="", file=sys.stderr, flush=True)
 
+    def observer(done, total, executed, cached, state):
+        dashboard.update(done, executed=executed, cached=cached,
+                         aggregate=state)
+
     try:
         result = service_mod.serve_fleet(
             population, cache=cache, config=config, jobs=args.jobs,
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-            progress=progress,
+            progress=None if dashboard is not None else progress,
+            observer=observer if dashboard is not None else None,
             stop_check=lambda: stop["requested"])
+        if dashboard is not None:
+            dashboard.finish(note=f"done in {result.elapsed_s:.1f}s")
+        _obs_write(args, registry, households=args.households,
+                   seed=args.seed, jobs=args.jobs)
     except service_mod.ServiceStopped as exc:
-        if not args.plain:
+        if not args.plain and dashboard is None:
             print(file=sys.stderr)
         print(f"interrupted: {exc}; checkpoint at {exc.checkpoint}",
               file=sys.stderr)
@@ -401,7 +514,8 @@ def _cmd_serve(args) -> int:
     finally:
         signal.signal(signal.SIGTERM, previous[0])
         signal.signal(signal.SIGINT, previous[1])
-    if not args.plain:
+        _obs_stop(registry)
+    if not args.plain and dashboard is None:
         print(file=sys.stderr)
     print(f"serve done in {result.elapsed_s:.1f}s "
           f"({result.executed} executed, {result.cached} cached, "

@@ -34,6 +34,7 @@ from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
 
 from ..analysis.pipeline import AuditPipeline
 from ..net.addresses import Ipv4Address
+from ..obs.metrics import get_registry, metrics_enabled, scoped
 from ..testbed.campaign import CampaignRunner, cell_key
 from ..util import atomic_write_bytes
 from ..testbed.experiment import (Country, DEFAULT_DURATION_NS,
@@ -204,8 +205,9 @@ class CellRecord:
 
     def pipeline(self) -> AuditPipeline:
         """Decode this cell's capture into an audit pipeline."""
-        return AuditPipeline.from_pcap_bytes(
-            self.pcap_bytes, Ipv4Address.parse(self.tv_ip))
+        with get_registry().span("grid.decode"):
+            return AuditPipeline.from_pcap_bytes(
+                self.pcap_bytes, Ipv4Address.parse(self.tv_ip))
 
     def meta(self) -> Dict:
         return {
@@ -288,11 +290,14 @@ class ResultCache:
                                 **meta)
         except (OSError, ValueError, TypeError):
             self.misses += 1
+            get_registry().inc("cache.miss")
             return None
         if not os.path.exists(pcap_path):
             self.misses += 1
+            get_registry().inc("cache.miss")
             return None
         self.hits += 1
+        get_registry().inc("cache.hit")
         return record
 
     def store(self, record: CellRecord) -> None:
@@ -307,6 +312,7 @@ class ResultCache:
             atomic_write_bytes(path, payload)
         record._pcap_path = pcap_path
         self.stores += 1
+        get_registry().inc("cache.store")
 
     def entry_count(self) -> int:
         return sum(name.endswith(".json")
@@ -345,32 +351,41 @@ def default_cache() -> Optional[ResultCache]:
 # -- execution ----------------------------------------------------------------
 
 
-def _execute_cell(payload: Tuple) -> Tuple[Dict, bytes]:
-    """Process-pool worker: run one cell, return (meta, compressed pcap).
+def _execute_cell(payload: Tuple) -> Tuple[Dict, bytes, Optional[Dict]]:
+    """Process-pool worker: run one cell, return (meta, compressed pcap,
+    metrics snapshot).
 
     Takes and returns only primitives so it pickles cleanly; the heavy
     ground-truth handles (backend, registry, zone) stay in the worker.
+    The snapshot (``None`` unless the parent had metrics enabled) is
+    collected in a worker-local registry so the parent can absorb it
+    without double counting.
     """
     (vendor, country, scenario, phase, duration_ns, seed,
-     validate_results) = payload
+     validate_results, collect_metrics) = payload
     spec = ExperimentSpec(Vendor(vendor), Country(country),
                           Scenario(scenario), Phase(phase), duration_ns)
-    started = time.perf_counter()
-    result = run_experiment(spec, seed=seed)
-    if validate_results:
-        report = validate(result)
-        if not report.ok:
-            raise RuntimeError(f"experiment {spec.label} failed "
-                               f"validation: {report.failures}")
-    record = record_from_result(
-        result, elapsed_s=time.perf_counter() - started)
-    return record.meta(), zlib.compress(result.pcap_bytes, 1)
+    with scoped(collect_metrics) as registry:
+        started = time.perf_counter()
+        with get_registry().span("grid.simulate"):
+            result = run_experiment(spec, seed=seed)
+        if validate_results:
+            report = validate(result)
+            if not report.ok:
+                raise RuntimeError(f"experiment {spec.label} failed "
+                                   f"validation: {report.failures}")
+        get_registry().inc("grid.cells.executed")
+        record = record_from_result(
+            result, elapsed_s=time.perf_counter() - started)
+        snapshot = registry.snapshot() if registry is not None else None
+    return record.meta(), zlib.compress(result.pcap_bytes, 1), snapshot
 
 
 def _payload(spec: ExperimentSpec, seed: int,
              validate_results: bool) -> Tuple:
     return (spec.vendor.value, spec.country.value, spec.scenario.value,
-            spec.phase.value, spec.duration_ns, seed, validate_results)
+            spec.phase.value, spec.duration_ns, seed, validate_results,
+            metrics_enabled())
 
 
 def warm_assets(specs: Sequence[ExperimentSpec] = (),
@@ -434,8 +449,9 @@ class GridRunner:
     def _execute(self, missing: List[Tuple[int, ExperimentSpec]]):
         if self.jobs == 1 or len(missing) == 1:
             for index, spec in missing:
-                meta, compressed = _execute_cell(
+                meta, compressed, snapshot = _execute_cell(
                     _payload(spec, self.seed, self.validate_results))
+                get_registry().absorb(snapshot)
                 yield index, spec, self._record(meta, compressed)
             return
         workers = min(self.jobs, len(missing))
@@ -452,7 +468,8 @@ class GridRunner:
                 for index, spec in missing}
             for future in concurrent.futures.as_completed(futures):
                 index, spec = futures[future]
-                meta, compressed = future.result()
+                meta, compressed, snapshot = future.result()
+                get_registry().absorb(snapshot)
                 yield index, spec, self._record(meta, compressed)
 
     @staticmethod
@@ -509,7 +526,8 @@ class GridResults:
                 else None
         if record is None:
             started = time.perf_counter()
-            result = self.campaign.run(spec)
+            with get_registry().span("grid.simulate"):
+                result = self.campaign.run(spec)
             record = record_from_result(
                 result, elapsed_s=time.perf_counter() - started)
             if self.cache:

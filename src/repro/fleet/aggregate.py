@@ -98,6 +98,8 @@ class FleetAggregate:
         "vendors", "countries", "phases", "diaries",
         "acr_households", "acr_households_by_vendor",
         "acr_households_by_country",
+        "households_by_vendor_country",
+        "acr_households_by_vendor_country",
         "acr_bytes", "acr_bytes_by_vendor", "acr_bytes_by_country",
         "acr_upload_bytes", "acr_upload_bytes_by_vendor",
         "acr_packets", "acr_bursts",
@@ -118,6 +120,10 @@ class FleetAggregate:
         self.acr_households = 0
         self.acr_households_by_vendor: Counter = Counter()
         self.acr_households_by_country: Counter = Counter()
+        #: "vendor/country" -> households (and the ACR-showing subset);
+        #: the live dashboard's heatmap is a pure view over these two.
+        self.households_by_vendor_country: Counter = Counter()
+        self.acr_households_by_vendor_country: Counter = Counter()
         self.acr_bytes = 0
         self.acr_bytes_by_vendor: Counter = Counter()
         self.acr_bytes_by_country: Counter = Counter()
@@ -151,10 +157,13 @@ class FleetAggregate:
         self.phases[summary["phase"]] += 1
         self.diaries[summary["diary"]] += 1
 
+        self.households_by_vendor_country[f"{vendor}/{country}"] += 1
         if has_acr:
             self.acr_households += 1
             self.acr_households_by_vendor[vendor] += 1
             self.acr_households_by_country[country] += 1
+            self.acr_households_by_vendor_country[
+                f"{vendor}/{country}"] += 1
         self.acr_bytes += summary["acr_bytes"]
         _add_nonzero(self.acr_bytes_by_vendor, vendor,
                      summary["acr_bytes"])
@@ -222,7 +231,11 @@ class FleetAggregate:
         """Rebuild a snapshot written by :meth:`to_dict`."""
         aggregate = cls()
         for slot in cls.__slots__:
-            value = state[slot]
+            value = state.get(slot)
+            if value is None:
+                # A snapshot written before this slot existed: keep the
+                # (empty/zero) default rather than refusing the resume.
+                continue
             if isinstance(getattr(aggregate, slot), Counter):
                 counter = getattr(aggregate, slot)
                 for key, count in value.items():

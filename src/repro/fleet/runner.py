@@ -32,6 +32,7 @@ from ..analysis.pipeline import AuditPipeline
 from ..experiments.grid import (CacheReadError, ResultCache,
                                 record_from_result, warm_assets)
 from ..net.addresses import Ipv4Address
+from ..obs.metrics import get_registry, metrics_enabled, scoped
 from ..testbed.runner import run_session
 from ..testbed.validation import validate_session
 from .aggregate import FleetAggregate, merge_all, summarize_household
@@ -43,6 +44,10 @@ from .population import HouseholdSpec, PopulationSpec
 SHARD_SIZE = 16
 
 ProgressFn = Callable[[int, int, int, int], None]
+
+#: Richer progress hook: (done shards, total shards, executed, cached,
+#: aggregate folded so far) — what the dashboard renders from.
+ObserverFn = Callable[[int, int, int, int, FleetAggregate], None]
 
 
 class FleetRunError(RuntimeError):
@@ -71,10 +76,11 @@ def household_record(household: HouseholdSpec,
         except CacheReadError:
             record = None
     if record is None:
-        result = run_session(
-            household.vendor, household.country, household.phase,
-            diary.as_runner_segments(), seed=household.seed,
-            label=household.label)
+        with get_registry().span("fleet.simulate"):
+            result = run_session(
+                household.vendor, household.country, household.phase,
+                diary.as_runner_segments(), seed=household.seed,
+                label=household.label)
         if validate_results:
             report = validate_session(result, diary.scenarios)
             if not report.ok:
@@ -96,39 +102,48 @@ def _audit_household(household: HouseholdSpec,
     """Run (or recall) one household and reduce it to a summary."""
     record, executed = household_record(household, cache,
                                         validate_results)
-    pipeline = AuditPipeline.from_pcap_bytes(
-        record.pcap_bytes, Ipv4Address.parse(record.tv_ip))
+    with get_registry().span("fleet.decode"):
+        pipeline = AuditPipeline.from_pcap_bytes(
+            record.pcap_bytes, Ipv4Address.parse(record.tv_ip))
     summary = summarize_household(household, pipeline,
                                   record.packet_count, record.pcap_len)
+    get_registry().inc("fleet.households")
     # Drop the heavy objects before the next household: the aggregate
     # keeps only the summary's integers.
     del pipeline, record
     return summary, executed
 
 
-def _run_shard(payload) -> Tuple[FleetAggregate, int, int]:
+def _run_shard(payload) -> Tuple[FleetAggregate, int, int,
+                                 Optional[dict]]:
     """Pool worker: audit one shard, return its merged aggregate.
 
     Takes only primitives (household tuples + cache coordinates) and
     returns the shard's :class:`FleetAggregate` plus executed/cached
-    counts — never a capture.
+    counts and — when the parent had metrics enabled — the shard's own
+    metrics snapshot, collected in a worker-local registry so the
+    parent can absorb it without double counting.  Never a capture.
     """
-    household_tuples, cache_root, cache_version, validate_results = \
-        payload
+    (household_tuples, cache_root, cache_version, validate_results,
+     collect_metrics) = payload
     cache = ResultCache(cache_root, version=cache_version) \
         if cache_root else None
     aggregate = FleetAggregate()
     executed = cached = 0
-    for values in household_tuples:
-        household = HouseholdSpec.from_tuple(values)
-        summary, ran = _audit_household(household, cache,
-                                        validate_results)
-        aggregate.fold(summary)
-        if ran:
-            executed += 1
-        else:
-            cached += 1
-    return aggregate, executed, cached
+    with scoped(collect_metrics) as registry:
+        with get_registry().span("fleet.shard"):
+            for values in household_tuples:
+                household = HouseholdSpec.from_tuple(values)
+                summary, ran = _audit_household(household, cache,
+                                                validate_results)
+                aggregate.fold(summary)
+                if ran:
+                    executed += 1
+                else:
+                    cached += 1
+        get_registry().inc("fleet.shards.completed")
+        snapshot = registry.snapshot() if registry is not None else None
+    return aggregate, executed, cached, snapshot
 
 
 class FleetResult:
@@ -172,21 +187,40 @@ class FleetRunner:
         households = [household.as_tuple() for household in population]
         return [
             (tuple(households[start:start + self.shard_size]),
-             cache_root, cache_version, self.validate_results)
+             cache_root, cache_version, self.validate_results,
+             metrics_enabled())
             for start in range(0, len(households), self.shard_size)]
 
     def run(self, population: PopulationSpec,
-            progress: Optional[ProgressFn] = None) -> FleetResult:
-        """Audit every household; constant parent memory in N."""
+            progress: Optional[ProgressFn] = None,
+            observer: Optional[ObserverFn] = None) -> FleetResult:
+        """Audit every household; constant parent memory in N.
+
+        ``progress`` receives plain shard counts; ``observer``
+        additionally receives the aggregate folded so far (shards merge
+        in index order), which is what the live dashboard renders —
+        both are observation only and never affect the result.
+        """
         started = time.perf_counter()
         payloads = self._payloads(population)
-        shard_outputs: List[Optional[Tuple[FleetAggregate, int, int]]] = \
-            [None] * len(payloads)
+        shard_outputs: List[Optional[Tuple]] = [None] * len(payloads)
+
+        def collect(index: int, output: Tuple) -> None:
+            shard_outputs[index] = output
+            get_registry().absorb(output[3])
+            registry = get_registry()
+            if registry.enabled:
+                elapsed = time.perf_counter() - started
+                folded = sum(o[0].households for o in shard_outputs
+                             if o is not None)
+                if elapsed > 0:
+                    registry.gauge_set("fleet.households_per_s",
+                                       round(folded / elapsed, 3))
+            self._report(progress, observer, shard_outputs)
 
         if self.jobs == 1 or len(payloads) == 1:
             for index, payload in enumerate(payloads):
-                shard_outputs[index] = _run_shard(payload)
-                self._report(progress, shard_outputs)
+                collect(index, _run_shard(payload))
         else:
             workers = min(self.jobs, len(payloads))
             if multiprocessing.get_start_method() == "fork":
@@ -199,8 +233,7 @@ class FleetRunner:
                     pool.submit(_run_shard, payload): index
                     for index, payload in enumerate(payloads)}
                 for future in concurrent.futures.as_completed(futures):
-                    shard_outputs[futures[future]] = future.result()
-                    self._report(progress, shard_outputs)
+                    collect(futures[future], future.result())
 
         aggregate = merge_all(output[0] for output in shard_outputs)
         executed = sum(output[1] for output in shard_outputs)
@@ -211,10 +244,19 @@ class FleetRunner:
 
     @staticmethod
     def _report(progress: Optional[ProgressFn],
+                observer: Optional[ObserverFn],
                 shard_outputs: List) -> None:
-        if progress is None:
+        if progress is None and observer is None:
             return
         done = [output for output in shard_outputs if output is not None]
-        progress(len(done), len(shard_outputs),
-                 sum(output[1] for output in done),
-                 sum(output[2] for output in done))
+        counts = (len(done), len(shard_outputs),
+                  sum(output[1] for output in done),
+                  sum(output[2] for output in done))
+        if progress is not None:
+            progress(*counts)
+        if observer is not None:
+            # Index order keeps the partial aggregate canonical (the
+            # same discipline as the final merge).
+            observer(*counts, merge_all(
+                output[0] for output in shard_outputs
+                if output is not None))

@@ -22,6 +22,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, List, Optional
 
+from ..obs.metrics import get_registry
 from .addresses import Ipv4Address, MacAddress
 from .dns import DnsMessage
 from .ethernet import ETHERTYPE_IPV4, EthernetFrame
@@ -235,6 +236,7 @@ class LazyPacket:
     def full(self) -> DecodedPacket:
         """The fully decoded object view (memoized)."""
         if self._full is None:
+            get_registry().inc("pipeline.full_decodes")
             self._full = decode_packet(
                 CapturedPacket(self.timestamp, self.data))
         return self._full

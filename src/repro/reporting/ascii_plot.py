@@ -1,4 +1,6 @@
-"""Terminal plots: spike timelines (Figures 4/6) and CDF curves (5/7)."""
+"""Terminal plots: spike timelines (Figures 4/6) and CDF curves (5/7),
+plus the small primitives (meters, sparklines, intensity ramp) the live
+dashboard (:mod:`repro.obs.dashboard`) composes its frames from."""
 
 from __future__ import annotations
 
@@ -9,7 +11,60 @@ import numpy as np
 from ..analysis.cdf import CumulativeCurve
 from ..analysis.timeline import Timeline
 
-_BARS = " .:-=+*#%@"
+#: Intensity ramp shared by spike plots, heatmap cells and sparklines:
+#: index 0 is "nothing", the last index is "peak".
+BARS = " .:-=+*#%@"
+_BARS = BARS  # historical private alias
+
+#: Fixed label column width in stacked timeline plots.
+LABEL_WIDTH = 24
+
+
+def fit_label(label: str, width: int = LABEL_WIDTH) -> str:
+    """Pad — or truncate with an ellipsis — to exactly ``width`` columns.
+
+    Long labels used to overflow the fixed ``{label:24s}`` field and
+    break column alignment in stacked plots; every labelled plot now
+    routes through this.
+    """
+    if len(label) <= width:
+        return f"{label:<{width}s}"
+    if width <= 3:
+        return label[:width]
+    return label[:width - 3] + "..."
+
+
+def meter(fraction: float, width: int = 20) -> str:
+    """A filled horizontal bar, e.g. ``[######--------------]``."""
+    if width <= 0:
+        return ""
+    fraction = min(1.0, max(0.0, fraction))
+    filled = round(fraction * width)
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def sparkline(values: Sequence[float], width: int = 0) -> str:
+    """One character per value on the :data:`BARS` ramp, scaled to the
+    sequence's own peak (an all-zero sequence renders as spaces).
+
+    With ``width`` set, the sequence is resampled (by max within each
+    slice) so the line occupies exactly that many columns.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if width and len(data) > width:
+        data = np.array([chunk.max() if len(chunk) else 0.0
+                         for chunk in np.array_split(data, width)])
+    if len(data) == 0:
+        return " " * width
+    top = data.max()
+    if top <= 0:
+        body = " " * len(data)
+    else:
+        levels = np.ceil(data / top * (len(BARS) - 1)).astype(int)
+        body = "".join(BARS[level] for level in levels)
+    if width and len(body) < width:
+        body = body.ljust(width)
+    return body
 
 
 def plot_timeline(timeline: Timeline, width: int = 80,
@@ -26,9 +81,9 @@ def plot_timeline(timeline: Timeline, width: int = 80,
     if top == 0:
         body = " " * width
     else:
-        levels = np.ceil(peaks / top * (len(_BARS) - 1)).astype(int)
-        body = "".join(_BARS[level] for level in levels)
-    return f"{label:24s} |{body}| peak={int(top)} pkts/bin"
+        levels = np.ceil(peaks / top * (len(BARS) - 1)).astype(int)
+        body = "".join(BARS[level] for level in levels)
+    return f"{fit_label(label)} |{body}| peak={int(top)} pkts/bin"
 
 
 def plot_timelines(timelines: Sequence[Timeline],

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.metrics import get_registry
 from .segments import CaptureSegment
 
 #: Default per-household credit window (segments buffered ahead of the
@@ -79,13 +80,24 @@ class SegmentBus:
                 f"{segment.total} total, lane opened with {lane.total}")
         if segment.seq < lane.cursor or segment.seq in lane.buffered:
             self.duplicates += 1
+            get_registry().inc("bus.duplicates")
             return True
         if segment.seq >= lane.cursor + self.credits:
             self.refused += 1
+            get_registry().inc("bus.refused")
             return False
         lane.buffered[segment.seq] = segment
         self.peak_buffered = max(self.peak_buffered,
                                  self.buffered_segments)
+        registry = get_registry()
+        if registry.enabled:
+            # Credit-window occupancy across all open lanes, as a
+            # fraction of what the windows could hold.
+            registry.gauge_max("bus.buffered_peak", self.peak_buffered)
+            registry.gauge_max(
+                "bus.credit_occupancy",
+                round(self.buffered_segments
+                      / (self.credits * max(1, self.open_lanes)), 4))
         self._drain(segment.household_index, lane)
         return True
 
@@ -95,6 +107,7 @@ class SegmentBus:
             segment = lane.buffered.pop(lane.cursor)
             lane.cursor += 1
             self.delivered += 1
+            get_registry().inc("bus.delivered")
             progressed = True
             self._sink(segment)
         if lane.cursor >= lane.total:

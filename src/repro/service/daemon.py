@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..experiments.grid import ResultCache, warm_assets
 from ..fleet.population import HouseholdSpec, PopulationSpec
 from ..fleet.runner import household_record
+from ..obs.metrics import get_registry, metrics_enabled, scoped
 from ..sim.clock import milliseconds, seconds
 from ..sim.events import EventLoop
 from .auditor import IncrementalAuditor
@@ -56,6 +57,10 @@ ARRIVAL_SPREAD_NS = seconds(2)
 RETRY_DELAY_NS = milliseconds(5)
 
 ProgressFn = Callable[[int, int, int, int], None]
+
+#: Richer progress hook: (done, total, executed, cached, LiveState) —
+#: what the live dashboard renders from.  Observation only.
+ObserverFn = Callable[[int, int, int, int, "LiveState"], None]
 
 
 class ServiceStopped(RuntimeError):
@@ -131,14 +136,24 @@ class ServiceResult:
                 f"{self.elapsed_s:.1f}s)")
 
 
-def _produce(payload) -> Tuple[int, str, bytes, bool]:
-    """Pool worker: produce one household capture (cache-aware)."""
-    household_tuple, cache_root, cache_version, validate = payload
+def _produce(payload) -> Tuple[int, str, bytes, bool, Optional[dict]]:
+    """Pool worker: produce one household capture (cache-aware).
+
+    The trailing metrics snapshot (``None`` unless the parent had
+    metrics enabled) is collected in a worker-local registry so the
+    parent can absorb simulate spans and cache counters from pool
+    workers too.
+    """
+    (household_tuple, cache_root, cache_version, validate,
+     collect_metrics) = payload
     household = HouseholdSpec.from_tuple(household_tuple)
     cache = ResultCache(cache_root, version=cache_version) \
         if cache_root else None
-    record, executed = household_record(household, cache, validate)
-    return household.index, record.tv_ip, record.pcap_bytes, executed
+    with scoped(collect_metrics) as registry:
+        record, executed = household_record(household, cache, validate)
+        snapshot = registry.snapshot() if registry is not None else None
+    return (household.index, record.tv_ip, record.pcap_bytes, executed,
+            snapshot)
 
 
 class _CaptureSource:
@@ -185,7 +200,7 @@ class _CaptureSource:
         return (household.as_tuple(),
                 self._cache.root if self._cache else None,
                 self._cache.version if self._cache else None,
-                self._validate)
+                self._validate, metrics_enabled())
 
     def _top_up(self) -> None:
         while (self._next_submit < len(self._queue)
@@ -203,7 +218,8 @@ class _CaptureSource:
             tv_ip, pcap = record.tv_ip, record.pcap_bytes
         else:
             future = self._futures.pop(household.index)
-            __, tv_ip, pcap, executed = future.result()
+            __, tv_ip, pcap, executed, snapshot = future.result()
+            get_registry().absorb(snapshot)
             self._top_up()
         if executed:
             self.executed += 1
@@ -221,7 +237,8 @@ class AuditService:
                  checkpoint_dir: Optional[str] = None,
                  resume: bool = False,
                  progress: Optional[ProgressFn] = None,
-                 stop_check: Optional[Callable[[], bool]] = None) -> None:
+                 stop_check: Optional[Callable[[], bool]] = None,
+                 observer: Optional[ObserverFn] = None) -> None:
         self.population = population
         self.cache = cache
         self.config = config or ServiceConfig()
@@ -230,6 +247,7 @@ class AuditService:
         self.resume = resume
         self.progress = progress
         self.stop_check = stop_check
+        self.observer = observer
         self.checkpoints_written = 0
 
     # -- deterministic arrival schedule -----------------------------------------
@@ -273,9 +291,17 @@ class AuditService:
             parked.pop(index, None)
             auditor.finalize(index)
             since_checkpoint += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.inc("service.households")
+                registry.gauge_max("service.open_households_peak",
+                                   auditor.peak_open_households)
             if self.progress is not None:
                 self.progress(len(state.completed), total,
                               source.executed, source.cached)
+            if self.observer is not None:
+                self.observer(len(state.completed), total,
+                              source.executed, source.cached, state)
             if (self.checkpoint_dir
                     and config.checkpoint_every
                     and since_checkpoint >= config.checkpoint_every):
@@ -299,6 +325,7 @@ class AuditService:
             waiting = parked.get(index)
             if not waiting:
                 return
+            get_registry().inc("service.parked_retries")
             # Deterministic retry order; the bus re-parks what the
             # credit window still refuses.
             for seq in sorted(waiting):
@@ -319,10 +346,16 @@ class AuditService:
                                           config.segments)
                 auditor.open(household, tv_ip)
                 bus.open(household.index, len(segments))
+                registry = get_registry()
                 for segment in segments:
-                    loop.call_after(
-                        self._jitter_ns(household.index, segment.seq),
-                        offer, segment)
+                    jitter_ns = self._jitter_ns(household.index,
+                                                segment.seq)
+                    if registry.enabled:
+                        # Virtual-time lag between a household's
+                        # admission and each segment's arrival.
+                        registry.observe("service.arrival_lag.sim_ms",
+                                         jitter_ns / 1e6)
+                    loop.call_after(jitter_ns, offer, segment)
 
         with _CaptureSource(queue, self.cache, self.jobs,
                             config.validate_results,
@@ -354,11 +387,13 @@ class AuditService:
                     auditor: IncrementalAuditor) -> Optional[str]:
         if not self.checkpoint_dir:
             return None
-        path = write_checkpoint(
-            self.checkpoint_dir, state, auditor.cursors(),
-            population_key(self.population.seed, self.population.mixes),
-            self.population.households,
-            segments_folded=auditor.segments_ingested)
+        with get_registry().span("service.checkpoint"):
+            path = write_checkpoint(
+                self.checkpoint_dir, state, auditor.cursors(),
+                population_key(self.population.seed,
+                               self.population.mixes),
+                self.population.households,
+                segments_folded=auditor.segments_ingested)
         self.checkpoints_written += 1
         return path
 
@@ -369,10 +404,11 @@ def serve_fleet(population: PopulationSpec,
                 checkpoint_dir: Optional[str] = None,
                 resume: bool = False,
                 progress: Optional[ProgressFn] = None,
-                stop_check: Optional[Callable[[], bool]] = None
+                stop_check: Optional[Callable[[], bool]] = None,
+                observer: Optional[ObserverFn] = None
                 ) -> ServiceResult:
     """Convenience wrapper: build and run one :class:`AuditService`."""
     return AuditService(population, cache=cache, config=config,
                         jobs=jobs, checkpoint_dir=checkpoint_dir,
                         resume=resume, progress=progress,
-                        stop_check=stop_check).run()
+                        stop_check=stop_check, observer=observer).run()

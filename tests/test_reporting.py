@@ -12,6 +12,8 @@ from repro.reporting import (cdf_to_csv, findings_to_json, kb, plot_cdf,
                              plot_timeline, plot_timelines,
                              render_markdown, render_table, table_to_csv,
                              timeline_to_csv)
+from repro.reporting.ascii_plot import (LABEL_WIDTH, fit_label, meter,
+                                        sparkline)
 
 
 def _timeline(counts):
@@ -78,6 +80,44 @@ class TestPlots:
     def test_cdf_plot_empty(self):
         empty = CumulativeCurve(np.array([]), np.array([]))
         assert "no traffic" in plot_cdf(empty)
+
+
+class TestAsciiPrimitives:
+    def test_fit_label_pads_short_labels(self):
+        assert fit_label("Linear") == "Linear" + " " * 18
+        assert len(fit_label("Linear")) == LABEL_WIDTH
+
+    def test_fit_label_truncates_with_ellipsis(self):
+        long = "log-ingestion-eu.samsungacr.com uploads"
+        fitted = fit_label(long)
+        assert len(fitted) == LABEL_WIDTH
+        assert fitted.endswith("...")
+        assert fitted == long[:LABEL_WIDTH - 3] + "..."
+
+    def test_fit_label_tiny_width(self):
+        assert fit_label("abcdef", width=2) == "ab"
+
+    def test_long_label_no_longer_breaks_timeline_alignment(self):
+        # Regression: `{label:24s}` let an overlong label push the plot
+        # body out of column; the fitted label pins the `|` position.
+        short = plot_timeline(_timeline([1, 2]), width=10, label="a")
+        long = plot_timeline(_timeline([1, 2]), width=10,
+                             label="x" * 60)
+        assert short.index("|") == long.index("|") == LABEL_WIDTH + 1
+
+    def test_meter_bounds(self):
+        assert meter(0.0, 4) == "[----]"
+        assert meter(1.0, 4) == "[####]"
+        assert meter(2.5, 4) == "[####]"  # clamped
+        assert meter(0.5, 4) == "[##--]"
+
+    def test_sparkline_resamples_to_width(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7], width=4)
+        assert len(line) == 4
+        assert line[-1] == "@"
+
+    def test_sparkline_all_zero_is_blank(self):
+        assert sparkline([0, 0, 0]) == "   "
 
 
 class TestExports:
