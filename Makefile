@@ -10,7 +10,7 @@ COV_FLOOR := 75
 
 .PHONY: test test-fast bench bench-grid bench-fleet bench-json \
 	coverage docs-check golden-update report resume-smoke \
-	metrics-smoke
+	metrics-smoke tier-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -30,9 +30,9 @@ bench-fleet:
 	$(PY) -m pytest benchmarks/bench_fleet.py -q
 
 # Codec hot-path trajectory: microbenches + a reduced-grid end-to-end
-# cell, written to BENCH_4.json so future PRs can regress-check.
+# cell, written to BENCH_5.json so future PRs can regress-check.
 bench-json:
-	$(PY) scripts/bench_report.py --out BENCH_4.json
+	$(PY) scripts/bench_report.py --out BENCH_5.json
 
 # Full suite under coverage with the floor enforced (requires
 # pytest-cov, which CI installs; locally: pip install pytest-cov).
@@ -63,6 +63,13 @@ metrics-smoke:
 		--jobs $(or $(SMOKE_JOBS),2) --no-cache --dashboard --plain \
 		--metrics-out metrics.jsonl
 	$(PY) scripts/check_metrics.py metrics.jsonl
+
+# Decode-tier identity smoke: lazy --jobs 1 vs columnar --jobs 8 with
+# shared-memory columns (publish, keep, attach across runs, clean up)
+# must render sha256-identical fleet reports.
+tier-smoke:
+	$(PY) scripts/tier_smoke.py --households $(or $(SMOKE_N),32) \
+		--jobs $(or $(SMOKE_JOBS),8)
 
 report:
 	$(PY) -m repro.cli report --jobs 4 > EXPERIMENTS.md

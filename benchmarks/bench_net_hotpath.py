@@ -7,6 +7,9 @@ path, so its perf trajectory is pinned hard:
   loop by >= 5x on MSS-sized buffers;
 * lazy flow-key decode must beat full object decode by >= 5x on a
   realistic synthesized capture;
+* columnar decode (raw pcap bytes -> numpy struct-array columns, zero
+  per-packet Python objects) must beat full object decode by >= 50x —
+  the tier the pipeline/fleet actually run on by default;
 * template-based segment encode must beat the full object codec
   (checked at >= 1.5x with wide headroom against timer noise — actual
   is ~2.1x; the remaining per-segment cost is the payload word sum,
@@ -20,9 +23,10 @@ committed ``BENCH_<n>.json`` trajectory.
 import io
 import time
 
-from repro.net import (CapturedPacket, Ipv4Address, MacAddress, PcapReader,
-                       TcpFrameTemplate, TcpSegment, decode_packet,
-                       dump_bytes, lazy_decode_all)
+from repro.net import (CapturedPacket, ColumnarCapture, Ipv4Address,
+                       MacAddress, PcapReader, TcpFrameTemplate, TcpSegment,
+                       decode_all, decode_packet, dump_bytes, lazy_decode_all,
+                       load_bytes)
 from repro.net.checksum import internet_checksum
 from repro.net.packet import build_tcp_frame
 from repro.reporting import render_table
@@ -34,6 +38,7 @@ IP_SRV = Ipv4Address.parse("203.0.113.9")
 
 CHECKSUM_SPEEDUP_FLOOR = 5.0
 DECODE_SPEEDUP_FLOOR = 5.0
+COLUMNAR_SPEEDUP_FLOOR = 50.0
 ENCODE_SPEEDUP_FLOOR = 1.5
 
 
@@ -94,6 +99,15 @@ def measure_decode(segments=1500):
     return full_s, fast_s
 
 
+def measure_columnar(segments=1500):
+    """Raw pcap bytes all the way to queryable packets: object tier
+    (``load_bytes`` + ``decode_all``) vs one columnar build."""
+    raw = dump_bytes(synth_capture(segments))
+    full_s = best_of(lambda: decode_all(load_bytes(raw)), repeats=3)
+    fast_s = best_of(lambda: ColumnarCapture.from_pcap_bytes(raw))
+    return full_s, fast_s
+
+
 def measure_encode(frames=3000, payload_len=1200):
     payload = b"\xa5" * payload_len
     template = TcpFrameTemplate(MAC_TV, MAC_AP, IP_TV, IP_SRV, 40001, 443)
@@ -141,6 +155,16 @@ def test_lazy_decode_speedup():
         ["microbench", "full ms", "lazy ms", "speedup"], [row]))
     assert speedup >= DECODE_SPEEDUP_FLOOR, \
         f"lazy decode speedup {speedup:.1f}x below {DECODE_SPEEDUP_FLOOR}x"
+
+
+def test_columnar_decode_speedup():
+    full_s, fast_s = measure_columnar()
+    row, speedup = _row("columnar (3000 pkts)", full_s, fast_s)
+    print("\n" + render_table(
+        ["microbench", "object ms", "columnar ms", "speedup"], [row]))
+    assert speedup >= COLUMNAR_SPEEDUP_FLOOR, \
+        f"columnar decode speedup {speedup:.1f}x below " \
+        f"{COLUMNAR_SPEEDUP_FLOOR}x"
 
 
 def test_template_encode_speedup():

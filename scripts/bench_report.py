@@ -1,9 +1,10 @@
 """Measure the codec hot path and emit a ``BENCH_<n>.json`` trajectory
 point.
 
-Run via ``make bench-json``.  The report captures the three hot-path
+Run via ``make bench-json``.  The report captures the hot-path
 microbenches (seed-vs-fast checksum, full-vs-lazy decode,
-object-vs-template encode) plus a reduced-grid end-to-end measurement
+object-vs-columnar decode, object-vs-template encode) plus a
+reduced-grid end-to-end measurement
 (one cell simulated cold, then decoded into an audit pipeline), so every
 PR can be regression-checked against the committed trajectory: a future
 change that erodes a speedup shows up as a smaller ratio in its
@@ -30,8 +31,8 @@ sys.path.insert(0, REPO_ROOT)
 os.environ.setdefault("REPRO_NO_CACHE", "1")  # cold by construction
 
 from benchmarks.bench_net_hotpath import (measure_checksum,  # noqa: E402
-                                          measure_decode, measure_encode,
-                                          measure_pcap_load)
+                                          measure_columnar, measure_decode,
+                                          measure_encode, measure_pcap_load)
 
 
 def _entry(slow_s: float, fast_s: float) -> dict:
@@ -45,10 +46,12 @@ def _entry(slow_s: float, fast_s: float) -> dict:
 def microbenches() -> dict:
     checksum = measure_checksum()
     decode = measure_decode()
+    columnar = measure_columnar()
     encode = measure_encode()
     return {
         "checksum_1460B_x2000": _entry(*checksum),
         "decode_3000_packets": _entry(*decode),
+        "columnar_3000_packets": _entry(*columnar),
         "encode_3000_frames": _entry(*encode),
         "pcap_load_3000_packets_s": round(measure_pcap_load(), 6),
     }
@@ -120,8 +123,8 @@ def end_to_end(minutes: int) -> dict:
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="emit the codec hot-path benchmark JSON")
-    parser.add_argument("--out", default="BENCH_4.json",
-                        help="output path (default BENCH_4.json)")
+    parser.add_argument("--out", default="BENCH_5.json",
+                        help="output path (default BENCH_5.json)")
     parser.add_argument("--minutes", type=int, default=10,
                         help="simulated minutes for the end-to-end cell "
                              "(default 10; CI uses the default reduced "
@@ -133,6 +136,11 @@ def main() -> int:
     report = {
         "suite": "net-hotpath",
         "python": platform.python_version(),
+        # Wall times are from whatever ran the script — committed
+        # trajectory points come from a 1-core CI-class container, so
+        # compare the *ratios*, never absolute seconds.
+        "hardware": {"machine": platform.machine(),
+                     "cpu_count": os.cpu_count()},
         "microbench": microbenches(),
     }
     if not args.skip_e2e:

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Decode-tier identity smoke: columnar vs lazy, serial vs fan-out.
+
+Drives the real CLI across the decode tiers and pins the acceptance
+criterion end to end:
+
+1. ``fleet --jobs 1 --decode-tier lazy`` — the reference report;
+2. ``fleet --jobs N --decode-tier columnar --shm-columns --shm-keep``
+   — parallel columnar run that publishes every household's packet
+   columns to shared memory and leaves the segments behind;
+3. ``fleet --jobs 1 --decode-tier columnar --shm-columns`` — a later
+   run that must *attach* the kept segments instead of re-decoding
+   (asserted via the metrics export), then unlink them on exit.
+
+All three reports must be sha256-identical, and no ``repro-col-*``
+segment may survive the final run.
+
+Usage::
+
+    PYTHONPATH=src python scripts/tier_smoke.py [--households 32]
+        [--jobs 8] [--keep-dir PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def sha256(path: str) -> str:
+    with open(path, "rb") as fileobj:
+        return hashlib.sha256(fileobj.read()).hexdigest()
+
+
+def run_cli(arguments, out_path):
+    print(f"  $ repro.cli {' '.join(arguments)}")
+    started = time.perf_counter()
+    with open(out_path, "wb") as out:
+        process = subprocess.run(
+            [sys.executable, "-m", "repro.cli"] + arguments,
+            stdout=out, stderr=subprocess.PIPE)
+    if process.returncode != 0:
+        sys.stderr.write(process.stderr.decode(errors="replace"))
+        raise SystemExit(
+            f"FAIL: exit {process.returncode} for: {' '.join(arguments)}")
+    print(f"    done in {time.perf_counter() - started:.1f}s")
+
+
+def counter(metrics_path: str, name: str) -> int:
+    """Read one counter out of a --metrics-out JSONL export."""
+    total = 0
+    with open(metrics_path, encoding="utf-8") as fileobj:
+        for line in fileobj:
+            record = json.loads(line)
+            if record.get("record") == "counter" \
+                    and record.get("name") == name:
+                total += int(record.get("value", 0))
+    return total
+
+
+def leftover_segments() -> list:
+    """Any repro-col-* shared-memory segments still on the machine
+    (Linux mounts POSIX shm at /dev/shm; elsewhere, skip the check)."""
+    if not os.path.isdir("/dev/shm"):
+        return []
+    return sorted(glob.glob("/dev/shm/repro-col-*"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--households", type=int, default=32)
+    parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--keep-dir", default=None,
+                        help="work under this directory and keep it "
+                             "(default: a temp dir, removed)")
+    args = parser.parse_args()
+
+    work = args.keep_dir or tempfile.mkdtemp(prefix="tier-smoke-")
+    os.makedirs(work, exist_ok=True)
+    print(f"tier smoke: {args.households} households, "
+          f"{args.jobs} jobs, work dir {work}")
+
+    def out(name):
+        return os.path.join(work, name)
+
+    # --no-cache everywhere: every run must actually decode (or attach),
+    # not replay the result cache.
+    common = ["--households", str(args.households),
+              "--seed", str(args.seed), "--no-cache"]
+    stale = leftover_segments()
+    try:
+        print("[1/3] lazy reference (--jobs 1)")
+        run_cli(["fleet"] + common
+                + ["--jobs", "1", "--decode-tier", "lazy"],
+                out("lazy-jobs1.txt"))
+        print("[2/3] columnar fan-out, publish + keep segments")
+        run_cli(["fleet"] + common
+                + ["--jobs", str(args.jobs), "--decode-tier", "columnar",
+                   "--shm-columns", "--shm-keep"],
+                out("columnar-jobsN.txt"))
+        print("[3/3] columnar serial, attach kept segments + clean up")
+        run_cli(["fleet"] + common
+                + ["--jobs", "1", "--decode-tier", "columnar",
+                   "--shm-columns",
+                   "--metrics-out", out("attach-metrics.jsonl")],
+                out("columnar-attach.txt"))
+
+        digests = {name: sha256(out(name))
+                   for name in ("lazy-jobs1.txt", "columnar-jobsN.txt",
+                                "columnar-attach.txt")}
+        for name, digest in sorted(digests.items()):
+            print(f"  sha256 {digest}  {name}")
+        if len(set(digests.values())) != 1:
+            raise SystemExit(
+                "FAIL: reports differ across decode tiers / job counts")
+
+        attached = counter(out("attach-metrics.jsonl"),
+                           "decode.columnar.shm.attach")
+        print(f"  attached {attached}/{args.households} households "
+              "from shared memory")
+        if attached < args.households:
+            raise SystemExit(
+                f"FAIL: final run attached only {attached} of "
+                f"{args.households} published column segments")
+        left = [seg for seg in leftover_segments() if seg not in stale]
+        if left:
+            raise SystemExit(
+                f"FAIL: column segments survived the final run: {left}")
+        print("OK: lazy and columnar reports are byte-identical, "
+              "shared-memory columns attach and clean up")
+        return 0
+    finally:
+        if not args.keep_dir:
+            shutil.rmtree(work, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

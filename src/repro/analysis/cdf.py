@@ -71,6 +71,26 @@ def cumulative_bytes(packets: Sequence[DecodedPacket],
     """
     if end_ns <= start_ns:
         raise ValueError("window ends before it starts")
+    capture = getattr(packets, "capture", None)
+    if capture is not None:
+        # Columnar query results carry their row indices: build the
+        # curve straight from the timestamp/length columns.  The sort
+        # replicates the object path's ``points.sort()`` over
+        # ``(time, length)`` tuples exactly (lexicographic, stable).
+        rows = packets.indices
+        ts = capture.ts[rows]
+        keep = (ts >= start_ns) & (ts < end_ns)
+        if sent_only_from is not None:
+            keep &= capture.src[rows] == np.uint32(sent_only_from.value)
+            keep &= capture.proto[rows] >= 0
+        ts = ts[keep]
+        sizes = capture.length[rows][keep]
+        times = (ts - start_ns) / NS_PER_SECOND
+        order = np.lexsort((sizes, times))
+        times = times[order]
+        sizes = sizes[order]
+        return CumulativeCurve(times, np.cumsum(sizes) if len(sizes)
+                               else sizes)
     points: List[Tuple[float, int]] = []
     for packet in packets:
         if not start_ns <= packet.timestamp < end_ns:

@@ -33,10 +33,14 @@ from collections import Counter
 from operator import itemgetter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..net.addresses import Ipv4Address
+from ..net.columnar import ColumnarCapture, ColumnarSlice
 from ..net.flow import FlowTable
-from ..net.packet import DecodedPacket, lazy_decode_all
+from ..net.packet import DecodedPacket, decode_all, lazy_decode_all
 from ..net.pcap import load_bytes
+from ..net.tiers import resolve_tier
 from ..obs.metrics import get_registry
 from .dns_map import DnsMap
 
@@ -62,24 +66,38 @@ class AuditPipeline:
     # -- constructors -----------------------------------------------------------
 
     @classmethod
-    def incremental(cls, tv_ip: Ipv4Address) -> "AuditPipeline":
-        """An empty pipeline to be grown with :meth:`extend`."""
+    def incremental(cls, tv_ip: Ipv4Address,
+                    tier: Optional[str] = None) -> "AuditPipeline":
+        """An empty pipeline to be grown segment by segment."""
+        if resolve_tier(tier) == "columnar":
+            return ColumnarAuditPipeline(ColumnarCapture(), tv_ip)
         return cls((), tv_ip)
 
     @classmethod
     def from_pcap_bytes(cls, raw: bytes,
-                        tv_ip: Optional[Ipv4Address] = None
-                        ) -> "AuditPipeline":
-        packets = lazy_decode_all(load_bytes(raw))
+                        tv_ip: Optional[Ipv4Address] = None,
+                        tier: Optional[str] = None) -> "AuditPipeline":
+        tier = resolve_tier(tier)
+        if tier == "columnar":
+            capture = ColumnarCapture.from_pcap_bytes(raw)
+            if tv_ip is None:
+                tv_ip = capture.infer_tv_ip()
+            return ColumnarAuditPipeline(capture, tv_ip)
+        if tier == "object":
+            packets: Sequence[DecodedPacket] = decode_all(load_bytes(raw))
+        else:
+            packets = lazy_decode_all(load_bytes(raw))
         if tv_ip is None:
             tv_ip = infer_tv_ip(packets)
         return cls(packets, tv_ip)
 
     @classmethod
-    def from_result(cls, result) -> "AuditPipeline":
+    def from_result(cls, result,
+                    tier: Optional[str] = None) -> "AuditPipeline":
         """From an ExperimentResult (reads only its pcap + TV IP)."""
         return cls.from_pcap_bytes(result.pcap_bytes,
-                                   Ipv4Address.parse(result.tv_ip))
+                                   Ipv4Address.parse(result.tv_ip),
+                                   tier=tier)
 
     # -- indexing ----------------------------------------------------------------
 
@@ -187,6 +205,9 @@ class AuditPipeline:
         return sum(p.length for p in self._domain_index().get(domain, ())
                    if p.src_ip == self.tv_ip)
 
+    def packet_count_for(self, domain: str) -> int:
+        return len(self._domain_index().get(domain, ()))
+
     def upload_timestamps(self, domains: List[str]) -> List[int]:
         """Sorted capture times of TV-originated packets to ``domains``."""
         return sorted(p.timestamp for p in self.packets_for_all(domains)
@@ -218,3 +239,157 @@ def infer_tv_ip(packets: Sequence[DecodedPacket]) -> Ipv4Address:
     if not counter:
         raise ValueError("no private addresses in capture")
     return counter.most_common(1)[0][0]
+
+
+class ColumnarAuditPipeline(AuditPipeline):
+    """The columnar decode tier's pipeline: every index and query is a
+    column scan; per-packet objects exist only in query *results*.
+
+    ``packets`` is a :class:`~repro.net.columnar.ColumnarCapture` (row
+    views on demand) rather than a list, and the per-remote index holds
+    u32 address keys and row-index arrays instead of packet objects.
+    Query semantics — including tie-breaking, stable sorts, and the
+    label-view memoization — replicate the base class bit for bit; the
+    equivalence suite and golden corpus hold the two tiers identical.
+    """
+
+    def __init__(self, capture: ColumnarCapture,
+                 tv_ip: Ipv4Address) -> None:
+        self.packets = capture
+        self.tv_ip = tv_ip
+        self.dns_map = DnsMap()
+        self._flows: Optional[FlowTable] = None
+        #: remote u32 -> [row-index array, ...] (one chunk per segment,
+        #: indices ascending within and across chunks).
+        self._by_remote: Dict[int, List[np.ndarray]] = {}
+        self._domain_view = None
+        self._absorb(0, len(capture))
+
+    # -- indexing ----------------------------------------------------------------
+
+    def extend(self, packets) -> "AuditPipeline":
+        raise TypeError("columnar pipelines grow from capture segments; "
+                        "use extend_pcap_bytes")
+
+    def extend_pcap_bytes(self, raw: bytes) -> int:
+        start, end = self.packets.extend_pcap_bytes(raw)
+        self._absorb(start, end)
+        return end - start
+
+    def _absorb(self, start: int, end: int) -> None:
+        """Index rows [start, end): DNS map, per-remote buckets, and —
+        only if already materialized — the flow table."""
+        capture = self.packets
+        observe = self.dns_map.observe
+        for i in np.nonzero(capture.dns[start:end])[0].tolist():
+            observe(capture.view(start + i))
+        tv = np.uint32(self.tv_ip.value)
+        src = capture.src[start:end]
+        dst = capture.dst[start:end]
+        is_ip = capture.proto[start:end] >= 0
+        from_tv = is_ip & (src == tv)
+        to_tv = is_ip & (dst == tv)
+        keep = from_tv | to_tv
+        remote = np.where(from_tv, dst, src)[keep]
+        if remote.size:
+            rows = np.nonzero(keep)[0].astype(np.int64) + start
+            order = np.argsort(remote, kind="stable")
+            remote = remote[order]
+            rows = rows[order]
+            cuts = np.nonzero(np.diff(remote))[0] + 1
+            bounds = np.concatenate(([0], cuts, [remote.size]))
+            by_remote = self._by_remote
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                chunks = by_remote.get(int(remote[lo]))
+                if chunks is None:
+                    chunks = by_remote[int(remote[lo])] = []
+                chunks.append(rows[lo:hi])
+        if self._flows is not None:
+            self._add_flows(start, end)
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("pipeline.extends")
+        self._domain_view = None
+
+    @property
+    def flows(self) -> FlowTable:
+        """Built lazily on first access (batch audits never pay for
+        it), then maintained incrementally across segments."""
+        if self._flows is None:
+            self._flows = FlowTable()
+            self._add_flows(0, len(self.packets))
+        return self._flows
+
+    def _add_flows(self, start: int, end: int) -> None:
+        add = self._flows.add
+        capture = self.packets
+        for index in range(start, end):
+            add(capture.view(index))
+
+    def _domain_index(self) -> Dict[str, np.ndarray]:
+        registry = get_registry()
+        if self._domain_view is None:
+            registry.inc("pipeline.domain_view.build")
+            grouped: Dict[str, List[np.ndarray]] = {}
+            for value, chunks in self._by_remote.items():
+                remote = self.packets.address(value)
+                label = (f"lan:{remote}" if remote.is_private
+                         else self.dns_map.label(remote))
+                grouped.setdefault(label, []).extend(chunks)
+            view: Dict[str, np.ndarray] = {}
+            for label, chunks in grouped.items():
+                if len(chunks) == 1:
+                    view[label] = chunks[0]
+                else:
+                    # Arrival seq == row index, so the base class's
+                    # seq-keyed merge is just a sort of the indices.
+                    merged = np.concatenate(chunks)
+                    merged.sort()
+                    view[label] = merged
+            self._domain_view = view
+        else:
+            registry.inc("pipeline.domain_view.memo_hit")
+        return self._domain_view
+
+    # -- queries ------------------------------------------------------------------
+
+    def packets_for(self, domain: str) -> ColumnarSlice:
+        return ColumnarSlice(self.packets,
+                             self._domain_index().get(domain))
+
+    def packets_for_all(self, domains: List[str]) -> ColumnarSlice:
+        index = self._domain_index()
+        parts = [index[domain] for domain in domains if domain in index]
+        if not parts:
+            return ColumnarSlice(self.packets)
+        rows = np.concatenate(parts)
+        order = np.argsort(self.packets.ts[rows], kind="stable")
+        return ColumnarSlice(self.packets, rows[order])
+
+    def bytes_for(self, domain: str) -> int:
+        rows = self._domain_index().get(domain)
+        if rows is None:
+            return 0
+        return int(self.packets.length[rows].sum())
+
+    def bytes_sent_to(self, domain: str) -> int:
+        rows = self._domain_index().get(domain)
+        if rows is None:
+            return 0
+        capture = self.packets
+        sent = capture.src[rows] == np.uint32(self.tv_ip.value)
+        return int(capture.length[rows][sent].sum())
+
+    def packet_count_for(self, domain: str) -> int:
+        rows = self._domain_index().get(domain)
+        return 0 if rows is None else len(rows)
+
+    def upload_timestamps(self, domains: List[str]) -> List[int]:
+        index = self._domain_index()
+        parts = [index[domain] for domain in domains if domain in index]
+        if not parts:
+            return []
+        rows = np.concatenate(parts)
+        capture = self.packets
+        sent = capture.src[rows] == np.uint32(self.tv_ip.value)
+        return np.sort(capture.ts[rows][sent]).tolist()

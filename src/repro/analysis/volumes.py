@@ -100,7 +100,7 @@ def build_volume_table(pipelines_by_scenario: Dict[str, AuditPipeline],
         for domain in acr_domains_by_scenario.get(scenario, []):
             display = normalize_rotating(domain)
             kilobytes = pipeline.kilobytes_for(domain)
-            packets = len(pipeline.packets_for(domain))
+            packets = pipeline.packet_count_for(domain)
             if display in merged:
                 merged[display] = VolumeCell(
                     display, scenario,

@@ -28,15 +28,17 @@ import multiprocessing
 import time
 from typing import Callable, List, Optional, Tuple
 
-from ..analysis.pipeline import AuditPipeline
+from ..analysis.pipeline import AuditPipeline, ColumnarAuditPipeline
 from ..experiments.grid import (CacheReadError, ResultCache,
                                 record_from_result, warm_assets)
 from ..net.addresses import Ipv4Address
+from ..net.tiers import resolve_tier
 from ..obs.metrics import get_registry, metrics_enabled, scoped
 from ..testbed.runner import run_session
 from ..testbed.validation import validate_session
 from .aggregate import FleetAggregate, merge_all, summarize_household
 from .population import HouseholdSpec, PopulationSpec
+from .shm import ColumnArena, shm_key
 
 #: Households per shard.  Fixed (not derived from --jobs) so the shard
 #: partition — and therefore the fold/merge structure — depends only on
@@ -98,52 +100,91 @@ def household_record(household: HouseholdSpec,
 
 def _audit_household(household: HouseholdSpec,
                      cache: Optional[ResultCache],
-                     validate_results: bool) -> Tuple[dict, bool]:
-    """Run (or recall) one household and reduce it to a summary."""
+                     validate_results: bool,
+                     tier: Optional[str] = None,
+                     arena: Optional[ColumnArena] = None
+                     ) -> Tuple[dict, bool, Optional[str]]:
+    """Run (or recall) one household and reduce it to a summary.
+
+    Returns ``(summary, executed, touched shm key or None)``.  With an
+    arena, a household already published to shared memory is audited
+    straight from the attached columns — no pcap read, no decode — and
+    a freshly decoded one is published for the next process."""
+    registry = get_registry()
+    key = None
+    if arena is not None:
+        key = shm_key(household.label, household.diary_obj.duration_ns,
+                      household.seed, cache.version if cache else None)
+        attached = arena.attach(key)
+        if attached is not None:
+            capture, meta = attached
+            pipeline = ColumnarAuditPipeline(
+                capture, Ipv4Address.parse(meta["tv_ip"]))
+            summary = summarize_household(household, pipeline,
+                                          meta["packet_count"],
+                                          meta["pcap_len"])
+            registry.inc("fleet.households")
+            del pipeline, capture
+            return summary, False, key
     record, executed = household_record(household, cache,
                                         validate_results)
-    with get_registry().span("fleet.decode"):
+    with registry.span("fleet.decode"):
         pipeline = AuditPipeline.from_pcap_bytes(
-            record.pcap_bytes, Ipv4Address.parse(record.tv_ip))
+            record.pcap_bytes, Ipv4Address.parse(record.tv_ip),
+            tier=tier)
+    touched = None
+    if arena is not None and isinstance(pipeline, ColumnarAuditPipeline):
+        touched = arena.publish(
+            key, pipeline.packets,
+            {"tv_ip": record.tv_ip, "label": household.label,
+             "packet_count": record.packet_count,
+             "pcap_len": record.pcap_len})
     summary = summarize_household(household, pipeline,
                                   record.packet_count, record.pcap_len)
-    get_registry().inc("fleet.households")
+    registry.inc("fleet.households")
     # Drop the heavy objects before the next household: the aggregate
     # keeps only the summary's integers.
     del pipeline, record
-    return summary, executed
+    return summary, executed, touched
 
 
 def _run_shard(payload) -> Tuple[FleetAggregate, int, int,
-                                 Optional[dict]]:
+                                 Optional[dict], Tuple[str, ...]]:
     """Pool worker: audit one shard, return its merged aggregate.
 
-    Takes only primitives (household tuples + cache coordinates) and
-    returns the shard's :class:`FleetAggregate` plus executed/cached
-    counts and — when the parent had metrics enabled — the shard's own
-    metrics snapshot, collected in a worker-local registry so the
-    parent can absorb it without double counting.  Never a capture.
+    Takes only primitives (household tuples + cache coordinates + tier
+    and shared-memory flags) and returns the shard's
+    :class:`FleetAggregate` plus executed/cached counts, — when the
+    parent had metrics enabled — the shard's own metrics snapshot,
+    collected in a worker-local registry so the parent can absorb it
+    without double counting, and the shm keys it touched (published or
+    attached).  Never a capture.
     """
     (household_tuples, cache_root, cache_version, validate_results,
-     collect_metrics) = payload
+     collect_metrics, tier, shm_columns) = payload
     cache = ResultCache(cache_root, version=cache_version) \
         if cache_root else None
+    arena = ColumnArena() \
+        if shm_columns and resolve_tier(tier) == "columnar" else None
     aggregate = FleetAggregate()
     executed = cached = 0
+    touched: List[str] = []
     with scoped(collect_metrics) as registry:
         with get_registry().span("fleet.shard"):
             for values in household_tuples:
                 household = HouseholdSpec.from_tuple(values)
-                summary, ran = _audit_household(household, cache,
-                                                validate_results)
+                summary, ran, key = _audit_household(
+                    household, cache, validate_results, tier, arena)
                 aggregate.fold(summary)
+                if key is not None:
+                    touched.append(key)
                 if ran:
                     executed += 1
                 else:
                     cached += 1
         get_registry().inc("fleet.shards.completed")
         snapshot = registry.snapshot() if registry is not None else None
-    return aggregate, executed, cached, snapshot
+    return aggregate, executed, cached, snapshot, tuple(touched)
 
 
 class FleetResult:
@@ -173,13 +214,21 @@ class FleetRunner:
 
     def __init__(self, cache: Optional[ResultCache] = None, jobs: int = 1,
                  shard_size: int = SHARD_SIZE,
-                 validate_results: bool = True) -> None:
+                 validate_results: bool = True,
+                 decode_tier: Optional[str] = None,
+                 shm_columns: bool = False,
+                 shm_keep: bool = False) -> None:
         if shard_size <= 0:
             raise ValueError("shard size must be positive")
         self.cache = cache
         self.jobs = max(1, jobs)
         self.shard_size = shard_size
         self.validate_results = validate_results
+        #: Resolved once here so workers get an explicit tier rather
+        #: than relying on inheriting the parent's process default.
+        self.decode_tier = resolve_tier(decode_tier)
+        self.shm_columns = shm_columns
+        self.shm_keep = shm_keep
 
     def _payloads(self, population: PopulationSpec) -> List[Tuple]:
         cache_root = self.cache.root if self.cache else None
@@ -188,7 +237,7 @@ class FleetRunner:
         return [
             (tuple(households[start:start + self.shard_size]),
              cache_root, cache_version, self.validate_results,
-             metrics_enabled())
+             metrics_enabled(), self.decode_tier, self.shm_columns)
             for start in range(0, len(households), self.shard_size)]
 
     def run(self, population: PopulationSpec,
@@ -238,6 +287,14 @@ class FleetRunner:
         aggregate = merge_all(output[0] for output in shard_outputs)
         executed = sum(output[1] for output in shard_outputs)
         cached = sum(output[2] for output in shard_outputs)
+        if self.shm_columns and not self.shm_keep:
+            # Shared-memory columns are a per-run decode cache by
+            # default: every segment this run touched (published or
+            # attached) is removed.  --shm-keep leaves them for the
+            # next run/process to attach.
+            for output in shard_outputs:
+                for key in output[4]:
+                    ColumnArena.unlink(key)
         return FleetResult(aggregate, population.households,
                            len(payloads), executed, cached,
                            time.perf_counter() - started)

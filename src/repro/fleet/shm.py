@@ -1,0 +1,207 @@
+"""Shared-memory column arena: decode a capture once per machine.
+
+The columnar tier's columns are plain contiguous arrays, so a fleet
+worker that has decoded a household can *publish* them — raw pcap
+buffer included — into a named ``multiprocessing.shared_memory``
+segment, and every later audit of that household (another job count,
+a repeated run, a serve refresh) *attaches* read-only instead of
+re-decoding.  Segments are content-addressed the same way the result
+cache is — ``(household label, diary duration, seed, cache version)``
+— and captures are deterministic functions of those coordinates, so an
+attached segment is always byte-equivalent to a fresh decode.
+
+Lifetime is managed explicitly, not by the interpreter:
+``SharedMemory`` registers every open (create *and* attach) with the
+``resource_tracker``, which would unlink segments as soon as any single
+process exits; the arena unregisters each open immediately and the
+fleet runner unlinks published segments at the end of the run (unless
+``--shm-keep`` leaves them for the next one).
+
+Everything in the segment is integers, JSON and raw bytes — no
+pickling — so any process on the machine can attach regardless of how
+it was started.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..net.columnar import COLUMN_NAMES, ColumnarCapture
+from ..obs.metrics import get_registry
+
+#: Name prefix for every arena segment (also the purge filter).
+SHM_PREFIX = "repro-col-"
+
+#: Per-capture publish cap: captures whose columns + pcap exceed this
+#: are simply not published (counted, never an error).
+DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Take ownership of a segment's lifetime away from the
+    resource tracker (which would unlink it at process exit)."""
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class _Segment(shared_memory.SharedMemory):
+    """A segment whose finalizer tolerates still-exported views.
+
+    Numpy columns attached over the mapping may outlive the capture
+    that owns the segment (a consumer keeps a column array around);
+    ``mmap.close()`` then raises ``BufferError``.  The mapping is
+    reclaimed anyway once the last view dies, so the finalizer just
+    leaves it to that instead of surfacing an unraisable error."""
+
+    def __del__(self) -> None:
+        try:
+            super().__del__()
+        except BufferError:
+            pass
+
+
+def _align8(value: int) -> int:
+    return (value + 7) & ~7
+
+
+def shm_key(label: str, duration_ns: int, seed: int,
+            version: Optional[str]) -> str:
+    """Content address of one household capture's column segment."""
+    coordinates = f"{label}:{duration_ns}:{seed}:{version}"
+    return SHM_PREFIX + hashlib.sha256(
+        coordinates.encode()).hexdigest()[:16]
+
+
+class ColumnArena:
+    """Publish/attach :class:`ColumnarCapture` columns over shared
+    memory.  One arena per process; it keeps every segment it has
+    opened alive for as long as attached captures may be in use."""
+
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
+        self.budget_bytes = budget_bytes
+        self._open: Dict[str, shared_memory.SharedMemory] = {}
+
+    # -- publish ----------------------------------------------------------------
+
+    def publish(self, key: str, capture: ColumnarCapture,
+                meta: dict) -> Optional[str]:
+        """Write a capture's columns + pcap buffer under ``key``.
+
+        Returns the key on success, ``None`` when skipped (over budget,
+        multi-segment, or lost a create race — the racer's segment is
+        equivalent).  ``meta`` must hold everything an attacher needs
+        to audit without the result cache (tv_ip at minimum).
+        """
+        registry = get_registry()
+        if capture.segment_count != 1 \
+                or capture.nbytes > self.budget_bytes:
+            if registry.enabled:
+                registry.inc("decode.columnar.shm.skipped")
+            return None
+        columns = capture.columns()
+        pcap = capture.buffer
+        descriptors = []
+        cursor = 0
+        for name in COLUMN_NAMES:
+            array = columns[name]
+            descriptors.append({"name": name,
+                                "dtype": array.dtype.str,
+                                "count": len(array),
+                                "offset": cursor})
+            cursor = _align8(cursor + array.nbytes)
+        header = json.dumps({"meta": meta,
+                             "columns": descriptors,
+                             "pcap": {"offset": cursor,
+                                      "length": len(pcap)}}).encode()
+        data_start = _align8(8 + len(header))
+        total = data_start + cursor + len(pcap)
+        try:
+            segment = _Segment(name=key, create=True, size=total)
+        except FileExistsError:
+            # Another worker published the same capture first; theirs
+            # is byte-equivalent.
+            if registry.enabled:
+                registry.inc("decode.columnar.shm.skipped")
+            return None
+        _untrack(segment)
+        buf = segment.buf
+        buf[0:8] = len(header).to_bytes(8, "little")
+        buf[8:8 + len(header)] = header
+        for descriptor, name in zip(descriptors, COLUMN_NAMES):
+            start = data_start + descriptor["offset"]
+            blob = columns[name].tobytes()
+            buf[start:start + len(blob)] = blob
+        buf[data_start + cursor:total] = bytes(pcap)
+        self._open[key] = segment
+        if registry.enabled:
+            registry.inc("decode.columnar.shm.publish")
+        return key
+
+    # -- attach -----------------------------------------------------------------
+
+    def attach(self, key: str
+               ) -> Optional[Tuple[ColumnarCapture, dict]]:
+        """Open a published segment read-only.
+
+        Returns ``(capture, meta)``, or ``None`` when nothing is
+        published under ``key``.  The capture is frozen; its arrays and
+        pcap buffer alias the shared segment with zero copies.
+        """
+        registry = get_registry()
+        with registry.span("decode.columnar.shm.attach"):
+            try:
+                segment = _Segment(name=key)
+            except FileNotFoundError:
+                return None
+            _untrack(segment)
+            buf = segment.buf
+            header_len = int.from_bytes(buf[0:8], "little")
+            header = json.loads(bytes(buf[8:8 + header_len]))
+            data_start = _align8(8 + header_len)
+            columns: Dict[str, np.ndarray] = {}
+            for descriptor in header["columns"]:
+                array = np.frombuffer(
+                    buf, dtype=np.dtype(descriptor["dtype"]),
+                    count=descriptor["count"],
+                    offset=data_start + descriptor["offset"])
+                array.flags.writeable = False
+                columns[descriptor["name"]] = array
+            pcap_start = data_start + header["pcap"]["offset"]
+            pcap = buf[pcap_start:pcap_start + header["pcap"]["length"]] \
+                .toreadonly()
+            capture = ColumnarCapture.from_columns(columns, pcap,
+                                                   owner=segment)
+            self._open[key] = segment
+        if registry.enabled:
+            registry.inc("decode.columnar.shm.attach")
+        return capture, header["meta"]
+
+    # -- lifetime ---------------------------------------------------------------
+
+    @staticmethod
+    def unlink(key: str) -> bool:
+        """Remove one published segment; True if it existed."""
+        try:
+            segment = shared_memory.SharedMemory(name=key)
+        except FileNotFoundError:
+            return False
+        segment.close()
+        # close() balanced the attach's register; unlink() re-pairs by
+        # removing the name it would have unregistered — do both here
+        # in the canonical order.
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (f"ColumnArena({len(self._open)} open, "
+                f"budget={self.budget_bytes >> 20}MB)")

@@ -7,6 +7,7 @@ raw bytes, exactly like the paper's Mon(IoT)r-based setup.
 
 from .addresses import (BROADCAST_MAC, Ipv4Address, Ipv4Network, MacAddress,
                         mac_from_seed, parse_endpoint)
+from .columnar import ColumnarCapture, ColumnarSlice, ColumnarView
 from .dns import DnsMessage, DnsQuestion, DnsRecord
 from .ethernet import EthernetFrame
 from .flow import Flow, FlowTable, canonical_key
@@ -19,12 +20,19 @@ from .pcap import (PcapError, PcapReader, PcapWriter, dump_bytes, load_bytes,
 from .stack import HostStack, TlsSession
 from .tcp import TcpSegment
 from .template import TcpFrameTemplate
+from .tiers import (DECODE_TIERS, DEFAULT_DECODE_TIER, decode_tier,
+                    resolve_tier, set_decode_tier)
 from .tls import TlsRecord, extract_sni
 from .udp import UdpDatagram
 
 __all__ = [
     "BROADCAST_MAC",
     "CapturedPacket",
+    "ColumnarCapture",
+    "ColumnarSlice",
+    "ColumnarView",
+    "DECODE_TIERS",
+    "DEFAULT_DECODE_TIER",
     "DecodedPacket",
     "DnsMessage",
     "DnsQuestion",
@@ -50,6 +58,7 @@ __all__ = [
     "canonical_key",
     "decode_all",
     "decode_packet",
+    "decode_tier",
     "dump_bytes",
     "extract_sni",
     "lazy_decode",
@@ -58,5 +67,7 @@ __all__ = [
     "load_file",
     "mac_from_seed",
     "parse_endpoint",
+    "resolve_tier",
     "save_file",
+    "set_decode_tier",
 ]

@@ -1,0 +1,626 @@
+"""Columnar decode tier: a whole capture as parallel field columns.
+
+The third decode tier (after the object and lazy tiers in
+:mod:`repro.net.packet`): walk the pcap record headers once, then
+byte-gather every fixed-offset header field — timestamps, lengths,
+src/dst IPv4 addresses, ports, protocol, the UDP/53 DNS flag — into
+parallel numpy columns.  Zero per-packet Python objects are built;
+consumers scan columns directly, and only the packets whose *payload*
+is actually read (DNS answers) are object-decoded via
+:class:`ColumnarView`, a row adapter with the exact ``LazyPacket``
+attribute surface.
+
+Equivalence with the reference tiers is non-negotiable and pinned by
+the golden corpus and hypothesis suites:
+
+* the record walk raises the same :class:`~repro.net.pcap.PcapError`
+  surface as :class:`~repro.net.pcap.PcapReader`, and raises it before
+  any frame-level error, exactly like ``load_bytes`` + lazy decode;
+* malformed or clipped frames raise the same ``ValueError`` messages in
+  the same (capture) order as :class:`~repro.net.packet.LazyPacket` —
+  any row the vectorized gather can't prove well-formed (short frames,
+  IPv4 options, claimed-but-truncated IPv4) is re-run through a real
+  ``LazyPacket``, so the slow path *is* the reference implementation.
+
+The vectorized fast path covers plain ``IHL=20`` IPv4 frames of at
+least 38 bytes — every byte the gathers touch is then inside the
+record's own data, so no mask can misread a neighbouring record.
+
+Columns are plain contiguous arrays, which is what makes the
+shared-memory fleet fan-out (:mod:`repro.fleet.shm`) possible: a worker
+re-attaches the buffers read-only instead of re-decoding the capture.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+from .addresses import Ipv4Address
+from .dns import DnsMessage
+from .ip import PROTO_TCP, PROTO_UDP
+from .packet import (DNS_PORT, CapturedPacket, DecodedPacket, LazyPacket,
+                     decode_packet)
+from .pcap import GLOBAL_HEADER, RECORD_HEADER, PcapError, \
+    parse_global_header
+
+_NS_PER_US = 1_000
+_NS_PER_S = 1_000_000_000
+
+_PROTO_NAMES = {PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+
+_MISSING = object()
+
+#: Column name -> dtype.  ``off`` is the frame's byte offset inside its
+#: segment buffer; ``src``/``dst`` are big-endian IPv4 values (0 for
+#: non-IP rows); ``sport``/``dport``/``proto`` use -1 for "absent",
+#: mirroring the lazy tier's ``None``.
+COLUMN_DTYPES = (
+    ("ts", np.int64),
+    ("off", np.int64),
+    ("length", np.int64),
+    ("src", np.uint32),
+    ("dst", np.uint32),
+    ("sport", np.int32),
+    ("dport", np.int32),
+    ("proto", np.int16),
+    ("ihl", np.int16),
+    ("dns", np.uint8),
+)
+
+COLUMN_NAMES = tuple(name for name, __ in COLUMN_DTYPES)
+
+# The vectorized gathers read frame bytes up to offset 37 (transport
+# ports); only rows with at least this many captured bytes take the
+# fast path, so every gather stays inside its own record.
+_FAST_MIN_FRAME = 38
+
+
+def _gather_u32(data: np.ndarray, base: np.ndarray,
+                big_endian: bool) -> np.ndarray:
+    b0 = data[base].astype(np.uint32)
+    b1 = data[base + 1].astype(np.uint32)
+    b2 = data[base + 2].astype(np.uint32)
+    b3 = data[base + 3].astype(np.uint32)
+    if big_endian:
+        return b0 << 24 | b1 << 16 | b2 << 8 | b3
+    return b3 << 24 | b2 << 16 | b1 << 8 | b0
+
+
+#: Records walked in Python per probe window before speculating again.
+_SPEC_PROBE = 64
+#: Longest repeating record-size pattern the speculator recognises.
+_SPEC_MAX_PERIOD = 8
+#: Cap on predicted records per speculation round (bounds temp arrays).
+_SPEC_BATCH = 1 << 20
+
+
+def _tail_period(sizes: List[int]) -> Optional[int]:
+    """Smallest period of the recent record sizes, or ``None``."""
+    tail = sizes[-_SPEC_PROBE:]
+    for period in range(1, _SPEC_MAX_PERIOD + 1):
+        if len(tail) < 2 * period:
+            return None
+        if all(tail[i] == tail[i + period]
+               for i in range(len(tail) - period)):
+            return period
+    return None
+
+
+def _walk_offsets(buf: memoryview, data: np.ndarray, start: int,
+                  swapped: bool) -> Tuple[np.ndarray, int]:
+    """Collect record-header offsets, speculating through runs.
+
+    The record walk is inherently sequential (each offset depends on the
+    previous record's ``incl_len``), but capture traffic is heavily
+    patterned — data/ACK interleaves repeat a handful of frame sizes for
+    thousands of records.  So the walk alternates two modes: a short
+    Python probe learns the recent size pattern, then a vectorized round
+    *predicts* the next run of offsets by tiling that pattern through a
+    ``cumsum`` and keeps exactly the prefix whose actual ``incl_len``
+    fields (one numpy gather) match the prediction.  Accepted offsets
+    are therefore byte-verified — identical to what the sequential walk
+    would produce — and any pattern break just falls back to probing.
+
+    Validation is deliberately deferred: implausible lengths and
+    truncation are detected afterwards from the gathered columns (the
+    walk past a bad record only ever produces *later*-indexed garbage,
+    so "first error wins" ordering is preserved).
+    """
+    unpack = struct.Struct(">I" if swapped else "<I").unpack_from
+    limit = len(buf) - RECORD_HEADER.size
+    offset = start
+    pending: List[int] = []        # python-walked offsets, oldest first
+    chunks: List[np.ndarray] = []  # accepted offset runs, in order
+    sizes: List[int] = []          # recent incl values (pattern seed)
+    need_probe = True
+    while offset <= limit:
+        if need_probe:
+            walked = 0
+            while offset <= limit and walked < _SPEC_PROBE:
+                (incl,) = unpack(buf, offset + 8)
+                pending.append(offset)
+                sizes.append(incl)
+                offset += RECORD_HEADER.size + incl
+                walked += 1
+            if offset > limit:
+                break
+        del sizes[:-_SPEC_PROBE]
+        period = _tail_period(sizes)
+        if period is None:
+            need_probe = True
+            continue
+        pattern = np.array(sizes[-period:], dtype=np.int64)
+        # Size the round from the *mean* stride: overshoot past the end
+        # just fails validation, undershoot rolls into another round.
+        stride = RECORD_HEADER.size + float(pattern.mean())
+        count = min(int((len(buf) - offset) / stride) + period + 1,
+                    _SPEC_BATCH)
+        pred_sizes = np.resize(pattern, count)
+        pred_off = offset + np.concatenate(
+            ([0], np.cumsum(RECORD_HEADER.size + pred_sizes)[:-1]))
+        safe = np.minimum(pred_off, limit)
+        actual = _gather_u32(data, safe + 8, swapped).astype(np.int64)
+        ok = (pred_off <= limit) & (actual == pred_sizes)
+        bad = np.nonzero(~ok)[0]
+        won = int(bad[0]) if bad.size else count
+        if won:
+            if pending:
+                chunks.append(np.array(pending, dtype=np.int64))
+                pending.clear()
+            chunks.append(pred_off[:won])
+            offset = int(pred_off[won - 1]) + RECORD_HEADER.size \
+                + int(pred_sizes[won - 1])
+            sizes.extend(pred_sizes[max(won - _SPEC_PROBE, 0):won]
+                         .tolist())
+            # A short win means the pattern broke at the next record —
+            # go learn the new one; a full batch keeps speculating.
+            need_probe = won < count
+        else:
+            need_probe = True
+    if pending:
+        chunks.append(np.array(pending, dtype=np.int64))
+    record = np.concatenate(chunks) if chunks \
+        else np.empty(0, dtype=np.int64)
+    return record, offset
+
+
+def _build_columns(buf: memoryview) -> Dict[str, np.ndarray]:
+    """Decode one pcap buffer into columns (the tier's hot path)."""
+    swapped, snaplen, __ = parse_global_header(buf)
+    data = np.frombuffer(buf, dtype=np.uint8)
+    record, cursor = _walk_offsets(buf, data, GLOBAL_HEADER.size, swapped)
+    end = len(buf)
+    count = len(record)
+    sec = _gather_u32(data, record, swapped).astype(np.int64)
+    usec = _gather_u32(data, record + 4, swapped).astype(np.int64)
+    incl = _gather_u32(data, record + 8, swapped).astype(np.int64)
+
+    # Record-level failures surface before any frame-level one, exactly
+    # like load_bytes (which finishes the whole walk before decoding).
+    implausible = incl > snaplen + 65536
+    if implausible.any():
+        first = int(implausible.argmax())
+        raise PcapError(f"implausible record length: {int(incl[first])}")
+    if cursor > end:
+        raise PcapError("truncated pcap record data")
+    if cursor < end:
+        raise PcapError("truncated pcap record header")
+
+    ts = sec * _NS_PER_S + usec * _NS_PER_US
+    frame = record + RECORD_HEADER.size
+    # Clip gather bases so short tail rows can't index past the buffer;
+    # clipped rows never take the fast path (incl < _FAST_MIN_FRAME).
+    safe = np.minimum(frame, max(end - _FAST_MIN_FRAME, 0))
+
+    def byte_at(rel: int) -> np.ndarray:
+        return data[safe + rel]
+
+    ethertype = byte_at(12).astype(np.int32) << 8 | byte_at(13)
+    version_ihl = byte_at(14)
+    total_len = byte_at(16).astype(np.int64) << 8 | byte_at(17)
+    proto8 = byte_at(23).astype(np.int16)
+    src = _gather_u32(data, safe + 26, True)
+    dst = _gather_u32(data, safe + 30, True)
+    sport16 = byte_at(34).astype(np.int32) << 8 | byte_at(35)
+    dport16 = byte_at(36).astype(np.int32) << 8 | byte_at(37)
+
+    sized = incl >= _FAST_MIN_FRAME
+    fast = (sized & (ethertype == 0x0800) & (version_ihl == 0x45)
+            & (total_len + 14 <= incl))
+    plain = sized & (ethertype != 0x0800)
+
+    src_col = np.where(fast, src, np.uint32(0)).astype(np.uint32)
+    dst_col = np.where(fast, dst, np.uint32(0)).astype(np.uint32)
+    proto_col = np.where(fast, proto8, -1).astype(np.int16)
+    ihl_col = np.where(fast, 20, 0).astype(np.int16)
+    ports_ok = fast & ((proto8 == PROTO_TCP) | (proto8 == PROTO_UDP))
+    sport_col = np.where(ports_ok, sport16, -1).astype(np.int32)
+    dport_col = np.where(ports_ok, dport16, -1).astype(np.int32)
+    dns_col = (ports_ok & (proto8 == PROTO_UDP)
+               & ((sport16 == DNS_PORT)
+                  | (dport16 == DNS_PORT))).astype(np.uint8)
+
+    # Everything the gathers can't prove well-formed goes through a real
+    # LazyPacket: identical error surface (and ordering — indices
+    # ascend), identical field semantics for the odd shapes (non-IP,
+    # IPv4 options, 14-37 byte frames).
+    for i in np.nonzero(~(fast | plain))[0].tolist():
+        start = int(record[i]) + RECORD_HEADER.size
+        row = LazyPacket(0, bytes(buf[start:start + int(incl[i])]))
+        if row.src_ip is not None:
+            src_col[i] = row.src_ip.value
+            dst_col[i] = row.dst_ip.value
+            proto_col[i] = row.proto
+            ihl_col[i] = row._ihl
+            if row.src_port is not None:
+                sport_col[i] = row.src_port
+                dport_col[i] = row.dst_port
+                if row.proto == PROTO_UDP and DNS_PORT in (row.src_port,
+                                                           row.dst_port):
+                    dns_col[i] = 1
+
+    return {
+        "ts": ts,
+        "off": frame,
+        "length": incl,
+        "src": src_col,
+        "dst": dst_col,
+        "sport": sport_col,
+        "dport": dport_col,
+        "proto": proto_col,
+        "ihl": ihl_col,
+        "dns": dns_col,
+    } if count else _empty_columns()
+
+
+def _empty_columns() -> Dict[str, np.ndarray]:
+    return {name: np.empty(0, dtype)
+            for name, dtype in COLUMN_DTYPES}
+
+
+class ColumnarCapture:
+    """A capture decoded into parallel columns, one row per packet.
+
+    Supports multi-segment growth (:meth:`extend_pcap_bytes` — the
+    streaming service feeds pcap-framed segments) and a frozen
+    read-only mode for shared-memory attached columns.  Iterating or
+    indexing yields :class:`ColumnarView` rows, so the capture is
+    drop-in wherever a list of lazy packets was.
+    """
+
+    __slots__ = ("ts", "off", "length", "src", "dst", "sport", "dport",
+                 "proto", "ihl", "dns", "_seg_starts", "_seg_bufs",
+                 "_intern", "_owner", "frozen")
+
+    def __init__(self) -> None:
+        for name, dtype in COLUMN_DTYPES:
+            setattr(self, name, np.empty(0, dtype))
+        self._seg_starts: List[int] = []
+        self._seg_bufs: List[memoryview] = []
+        self._intern: Dict[int, Ipv4Address] = {}
+        self._owner = None
+        self.frozen = False
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_pcap_bytes(cls, raw: Union[bytes, bytearray, memoryview]
+                        ) -> "ColumnarCapture":
+        capture = cls()
+        capture.extend_pcap_bytes(raw)
+        return capture
+
+    @classmethod
+    def from_columns(cls, columns: Dict[str, np.ndarray],
+                     buf: memoryview,
+                     owner=None) -> "ColumnarCapture":
+        """Adopt pre-built columns over one pcap buffer (the
+        shared-memory attach path); the result is frozen.  ``owner``
+        (e.g. the backing ``SharedMemory`` segment) is kept alive for
+        the capture's lifetime so the mapped buffers stay valid."""
+        capture = cls()
+        for name in COLUMN_NAMES:
+            setattr(capture, name, columns[name])
+        capture._seg_starts = [0]
+        capture._seg_bufs = [buf if isinstance(buf, memoryview)
+                             else memoryview(buf)]
+        capture._owner = owner
+        capture.frozen = True
+        return capture
+
+    # -- growth -----------------------------------------------------------------
+
+    def extend_pcap_bytes(self, raw: Union[bytes, bytearray, memoryview]
+                          ) -> Tuple[int, int]:
+        """Decode one pcap-framed segment; returns its [start, end) row
+        range."""
+        if self.frozen:
+            raise TypeError("shared-memory columns are read-only")
+        buf = raw if isinstance(raw, memoryview) else memoryview(raw)
+        registry = get_registry()
+        with registry.span("decode.columnar.build"):
+            columns = _build_columns(buf)
+        start = len(self.ts)
+        count = len(columns["ts"])
+        self._seg_starts.append(start)
+        self._seg_bufs.append(buf)
+        if start == 0:
+            for name in COLUMN_NAMES:
+                setattr(self, name, columns[name])
+        else:
+            for name in COLUMN_NAMES:
+                setattr(self, name,
+                        np.concatenate((getattr(self, name),
+                                        columns[name])))
+        if registry.enabled:
+            registry.inc("decode.columnar.packets", count)
+        return start, start + count
+
+    # -- row access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [ColumnarView(self, i)
+                    for i in range(*index.indices(len(self.ts)))]
+        if index < 0:
+            index += len(self.ts)
+        return ColumnarView(self, index)
+
+    def __iter__(self) -> Iterator["ColumnarView"]:
+        for index in range(len(self.ts)):
+            yield ColumnarView(self, index)
+
+    def view(self, index: int) -> "ColumnarView":
+        return ColumnarView(self, index)
+
+    def frame(self, index: int) -> memoryview:
+        """The raw frame bytes of one row (a view, not a copy)."""
+        seg = bisect_right(self._seg_starts, index) - 1
+        offset = int(self.off[index])
+        return self._seg_bufs[seg][offset:offset + int(self.length[index])]
+
+    def address(self, value: int) -> Ipv4Address:
+        """Interned address object for a u32 column value."""
+        addr = self._intern.get(value)
+        if addr is None:
+            addr = self._intern[value] = Ipv4Address(value)
+        return addr
+
+    # -- capture-level queries ---------------------------------------------------
+
+    def infer_tv_ip(self) -> Ipv4Address:
+        """Column equivalent of :func:`repro.analysis.pipeline.infer_tv_ip`
+        — most talkative private address, ties broken by first
+        appearance in src-then-dst packet order."""
+        count = len(self.ts)
+        interleaved = np.empty(2 * count, np.uint32)
+        interleaved[0::2] = self.src
+        interleaved[1::2] = self.dst
+        is_ip = self.proto >= 0
+        valid = np.empty(2 * count, bool)
+        valid[0::2] = is_ip
+        valid[1::2] = is_ip
+        private = (((interleaved >> np.uint32(24)) == 10)
+                   | ((interleaved >> np.uint32(20)) == (172 << 4) | 1)
+                   | ((interleaved >> np.uint32(16)) == (192 << 8) | 168))
+        candidates = interleaved[valid & private]
+        if candidates.size == 0:
+            raise ValueError("no private addresses in capture")
+        values, counts = np.unique(candidates, return_counts=True)
+        tied = values[counts == counts.max()]
+        if tied.size == 1:
+            return self.address(int(tied[0]))
+        first_seen = {int(v): int(np.argmax(candidates == v))
+                      for v in tied}
+        return self.address(min(first_seen, key=first_seen.get))
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._seg_starts)
+
+    @property
+    def buffer(self) -> memoryview:
+        """The single backing pcap buffer (shared-memory publish path —
+        only defined for unsegmented captures)."""
+        if len(self._seg_bufs) != 1:
+            raise ValueError(
+                f"capture has {len(self._seg_bufs)} segments, not 1")
+        return self._seg_bufs[0]
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        return {name: getattr(self, name) for name in COLUMN_NAMES}
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes needed to publish this capture (columns + raw pcap)."""
+        return (sum(getattr(self, name).nbytes for name in COLUMN_NAMES)
+                + sum(len(buf) for buf in self._seg_bufs))
+
+    def __repr__(self) -> str:
+        return (f"ColumnarCapture({len(self.ts)} packets, "
+                f"{self.segment_count} segments"
+                f"{', frozen' if self.frozen else ''})")
+
+
+class ColumnarView:
+    """One capture row with the full ``LazyPacket`` attribute surface.
+
+    Built only where a consumer genuinely needs a per-packet object —
+    DNS payload decodes, flow-table rows, query results — never during
+    the column scans themselves.
+    """
+
+    __slots__ = ("_capture", "_index", "_dns", "_full")
+
+    def __init__(self, capture: ColumnarCapture, index: int) -> None:
+        self._capture = capture
+        self._index = index
+        self._dns = _MISSING
+        self._full: Optional[DecodedPacket] = None
+
+    @property
+    def timestamp(self) -> int:
+        return int(self._capture.ts[self._index])
+
+    @property
+    def data(self) -> memoryview:
+        return self._capture.frame(self._index)
+
+    @property
+    def length(self) -> int:
+        return int(self._capture.length[self._index])
+
+    @property
+    def src_ip(self) -> Optional[Ipv4Address]:
+        capture, index = self._capture, self._index
+        if capture.proto[index] < 0:
+            return None
+        return capture.address(int(capture.src[index]))
+
+    @property
+    def dst_ip(self) -> Optional[Ipv4Address]:
+        capture, index = self._capture, self._index
+        if capture.proto[index] < 0:
+            return None
+        return capture.address(int(capture.dst[index]))
+
+    @property
+    def src_port(self) -> Optional[int]:
+        value = int(self._capture.sport[self._index])
+        return None if value < 0 else value
+
+    @property
+    def dst_port(self) -> Optional[int]:
+        value = int(self._capture.dport[self._index])
+        return None if value < 0 else value
+
+    @property
+    def proto(self) -> Optional[int]:
+        value = int(self._capture.proto[self._index])
+        return None if value < 0 else value
+
+    @property
+    def flow_proto(self) -> Optional[str]:
+        value = int(self._capture.proto[self._index])
+        if value < 0:
+            return None
+        return _PROTO_NAMES.get(value, "ip")
+
+    @property
+    def full(self) -> DecodedPacket:
+        if self._full is None:
+            get_registry().inc("pipeline.full_decodes")
+            self._full = decode_packet(
+                CapturedPacket(self.timestamp, self.data))
+        return self._full
+
+    @property
+    def eth(self):
+        return self.full.eth
+
+    @property
+    def ip(self):
+        return self.full.ip
+
+    @property
+    def tcp(self):
+        return self.full.tcp
+
+    @property
+    def udp(self):
+        return self.full.udp
+
+    @property
+    def transport_payload(self):
+        capture, index = self._capture, self._index
+        proto = int(capture.proto[index])
+        data = self.data
+        transport = 14 + int(capture.ihl[index])
+        if proto == PROTO_TCP:
+            offset = transport + ((data[transport + 12] >> 4) * 4)
+            total = int.from_bytes(data[16:18], "big")
+            return data[offset:14 + total]
+        if proto == PROTO_UDP:
+            length = int.from_bytes(
+                data[transport + 4:transport + 6], "big")
+            return data[transport + 8:transport + length]
+        return b""
+
+    @property
+    def dns(self) -> Optional[DnsMessage]:
+        if self._dns is _MISSING:
+            self._dns = None
+            capture, index = self._capture, self._index
+            if capture.dns[index]:
+                registry = get_registry()
+                if registry.enabled:
+                    registry.inc("decode.columnar.dns_decodes")
+                try:
+                    self._dns = DnsMessage.decode(
+                        bytes(self.transport_payload))
+                except ValueError:
+                    self._dns = None
+        return self._dns
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return (f"ColumnarView(t={self.timestamp}, "
+                f"{self.flow_proto or 'eth'}, "
+                f"{self.src_ip}:{self.src_port} -> "
+                f"{self.dst_ip}:{self.dst_port}, {self.length}B)")
+
+
+_EMPTY_INDICES = np.empty(0, np.int64)
+
+
+class ColumnarSlice:
+    """An ordered subset of capture rows (a query result).
+
+    Behaves like the list of packets the object/lazy pipelines return —
+    ``len``/iteration/indexing/``==`` — while keeping the underlying
+    index array addressable so consumers like the CDF builder can stay
+    columnar."""
+
+    __slots__ = ("capture", "indices")
+
+    def __init__(self, capture: ColumnarCapture,
+                 indices: Optional[np.ndarray] = None) -> None:
+        self.capture = capture
+        self.indices = _EMPTY_INDICES if indices is None else indices
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ColumnarSlice(self.capture, self.indices[index])
+        return ColumnarView(self.capture, int(self.indices[index]))
+
+    def __iter__(self) -> Iterator[ColumnarView]:
+        capture = self.capture
+        for index in self.indices.tolist():
+            yield ColumnarView(capture, index)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ColumnarSlice):
+            return (self.capture is other.capture
+                    and np.array_equal(self.indices, other.indices))
+        if isinstance(other, (list, tuple)):
+            if len(other) != len(self.indices):
+                return False
+            return all(mine is theirs or mine == theirs
+                       for mine, theirs in zip(self, other))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ColumnarSlice({len(self.indices)} packets)"

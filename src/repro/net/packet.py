@@ -125,8 +125,13 @@ def decode_packet(packet: CapturedPacket,
     DNS parse failures are tolerated (the payload may be a non-DNS UDP
     protocol on port 53 in hostile captures); lower-layer failures raise.
     """
-    eth = EthernetFrame.decode(packet.data)
-    decoded = DecodedPacket(packet.timestamp, len(packet.data), eth)
+    data = packet.data
+    if type(data) is not bytes:
+        # Zero-copy loads hand us buffer views; the object layers slice
+        # and ``.decode()`` freely, so materialize real bytes once here.
+        data = bytes(data)
+    eth = EthernetFrame.decode(data)
+    decoded = DecodedPacket(packet.timestamp, len(data), eth)
     if eth.ethertype != ETHERTYPE_IPV4:
         return decoded
     ip = Ipv4Packet.decode(eth.payload, verify=verify_checksums)
@@ -278,8 +283,11 @@ class LazyPacket:
             self._dns = None
             if self.proto == PROTO_UDP \
                     and DNS_PORT in (self.src_port, self.dst_port):
+                payload = self.transport_payload
+                if type(payload) is not bytes:
+                    payload = bytes(payload)
                 try:
-                    self._dns = DnsMessage.decode(self.transport_payload)
+                    self._dns = DnsMessage.decode(payload)
                 except ValueError:
                     self._dns = None
         return self._dns

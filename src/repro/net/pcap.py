@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import io
 import struct
-from typing import BinaryIO, Iterable, Iterator, List, Union
+from typing import BinaryIO, Iterable, Iterator, List, Tuple, Union
 
 from .packet import CapturedPacket
 
@@ -113,6 +113,64 @@ class PcapReader:
             yield CapturedPacket(timestamp, data)
 
 
+def parse_global_header(buf) -> Tuple[bool, int, int]:
+    """Validate a pcap global header in a buffer.
+
+    Returns ``(swapped, snaplen, linktype)`` with the same failure
+    surface as :class:`PcapReader` — truncated header, bad magic and
+    non-Ethernet linktypes all raise :class:`PcapError`.
+    """
+    if len(buf) < GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap global header")
+    magic = buf[3] << 24 | buf[2] << 16 | buf[1] << 8 | buf[0]
+    if magic == MAGIC_USEC:
+        swapped = False
+    elif magic == MAGIC_USEC_SWAPPED:
+        swapped = True
+    else:
+        raise PcapError(f"bad pcap magic: {magic:#010x}")
+    fmt = ">IHHiIII" if swapped else "<IHHiIII"
+    (__, __, __, __, __, snaplen,
+     linktype) = struct.unpack_from(fmt, buf, 0)
+    if linktype != LINKTYPE_ETHERNET:
+        raise PcapError(f"unsupported linktype: {linktype}")
+    return swapped, snaplen, linktype
+
+
+def iter_records(buf, start: int = 0
+                 ) -> Iterator[Tuple[int, int, int, int]]:
+    """Walk the record headers of an in-memory pcap buffer.
+
+    Yields ``(timestamp_ns, frame_offset, incl_len, orig_len)`` per
+    record without copying a single frame byte — consumers slice (or
+    index into) the one buffer they already hold.  This is the
+    mmap-friendly walk under both :func:`load_bytes` and the columnar
+    decode tier.  ``start`` skips an already-validated global header so
+    capture *segments* (record stream only) can reuse the same walk.
+    """
+    if start == 0:
+        swapped, snaplen, __ = parse_global_header(buf)
+        offset = GLOBAL_HEADER.size
+    else:
+        swapped, snaplen, offset = False, 65535, start
+    header = (">IIII" if swapped else "<IIII")
+    unpack = struct.Struct(header).unpack_from
+    header_size = RECORD_HEADER.size
+    end = len(buf)
+    while offset < end:
+        if end - offset < header_size:
+            raise PcapError("truncated pcap record header")
+        ts_sec, ts_usec, incl_len, orig_len = unpack(buf, offset)
+        if incl_len > snaplen + 65536:
+            raise PcapError(f"implausible record length: {incl_len}")
+        offset += header_size
+        if end - offset < incl_len:
+            raise PcapError("truncated pcap record data")
+        yield (ts_sec * _NS_PER_S + ts_usec * _NS_PER_US,
+               offset, incl_len, orig_len)
+        offset += incl_len
+
+
 def dump_bytes(packets: Iterable[CapturedPacket]) -> bytes:
     """Serialize a packet list to pcap bytes in memory."""
     buffer = io.BytesIO()
@@ -122,8 +180,16 @@ def dump_bytes(packets: Iterable[CapturedPacket]) -> bytes:
 
 
 def load_bytes(raw: Union[bytes, bytearray]) -> List[CapturedPacket]:
-    """Parse pcap bytes into a packet list."""
-    return list(PcapReader(io.BytesIO(bytes(raw))))
+    """Parse pcap bytes into a packet list.
+
+    Zero-copy: every packet's ``data`` is an offset/length view over the
+    single input buffer rather than a freshly sliced ``bytes`` — the
+    decoders normalize to real ``bytes`` only at the object-decode
+    boundaries that need them.
+    """
+    buf = memoryview(raw)
+    return [CapturedPacket(ts, buf[offset:offset + incl_len])
+            for ts, offset, incl_len, __ in iter_records(buf)]
 
 
 def save_file(path: str, packets: Iterable[CapturedPacket]) -> int:

@@ -1,0 +1,56 @@
+"""Decode-tier selection shared by every capture consumer.
+
+Three tiers decode the same capture bytes into the same answers:
+
+* ``object`` — :func:`repro.net.packet.decode_packet` builds the full
+  Ethernet/IP/TCP/UDP/DNS object layers per packet.  The reference
+  implementation.
+* ``lazy`` — :class:`repro.net.packet.LazyPacket` slices the flow key
+  from fixed offsets and defers everything deeper (~10x).
+* ``columnar`` — :mod:`repro.net.columnar` walks the pcap once into
+  parallel ``array`` columns with zero per-packet objects (~50x), the
+  default.
+
+The process-wide default set here is what
+:meth:`repro.analysis.pipeline.AuditPipeline.from_pcap_bytes` uses when
+no explicit tier is passed; the CLI's ``--decode-tier`` flag writes it.
+Every tier is pinned byte-identical to the others by the golden corpus
+and the hypothesis equivalence suites, so switching tiers can only ever
+change speed, never a result.
+"""
+
+from __future__ import annotations
+
+DECODE_TIERS = ("object", "lazy", "columnar")
+
+DEFAULT_DECODE_TIER = "columnar"
+
+_tier = DEFAULT_DECODE_TIER
+
+
+def decode_tier() -> str:
+    """The process-wide default decode tier."""
+    return _tier
+
+
+def set_decode_tier(tier: str) -> str:
+    """Set the process-wide default; returns the previous value."""
+    global _tier
+    if tier not in DECODE_TIERS:
+        raise ValueError(
+            f"unknown decode tier {tier!r} (choose from "
+            f"{', '.join(DECODE_TIERS)})")
+    previous = _tier
+    _tier = tier
+    return previous
+
+
+def resolve_tier(tier=None) -> str:
+    """An explicit tier if given (validated), else the process default."""
+    if tier is None:
+        return _tier
+    if tier not in DECODE_TIERS:
+        raise ValueError(
+            f"unknown decode tier {tier!r} (choose from "
+            f"{', '.join(DECODE_TIERS)})")
+    return tier
