@@ -10,7 +10,7 @@ COV_FLOOR := 75
 
 .PHONY: test test-fast bench bench-grid bench-fleet bench-json \
 	coverage docs-check golden-update report resume-smoke \
-	metrics-smoke tier-smoke
+	metrics-smoke tier-smoke chaos-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -63,6 +63,15 @@ metrics-smoke:
 		--jobs $(or $(SMOKE_JOBS),2) --no-cache --dashboard --plain \
 		--metrics-out metrics.jsonl
 	$(PY) scripts/check_metrics.py metrics.jsonl
+
+# Fault-injection chaos smoke: serve under an aggressive lossless
+# fault plan (drops/dups/reorders/starvation/crashes/torn checkpoints,
+# including a SIGTERM + resume) must render a report byte-identical to
+# the fault-free batch fleet; a lossy (pcap-corruption) plan must
+# complete with a jobs-invariant degradation-evidence section.
+chaos-smoke:
+	$(PY) scripts/chaos_smoke.py --households $(or $(SMOKE_N),96) \
+		--jobs $(or $(SMOKE_JOBS),8)
 
 # Decode-tier identity smoke: lazy --jobs 1 vs columnar --jobs 8 with
 # shared-memory columns (publish, keep, attach across runs, clean up)

@@ -113,6 +113,32 @@ def _obs_stop(registry) -> None:
     disable()
 
 
+def _add_fault_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--faults", default=None, metavar="SITE:RATE[,..]",
+        help="deterministic fault injection plan, e.g. "
+             "'segment.drop:0.2,worker.crash:0.1' (bare SITE means "
+             "rate 1.0; see docs/cli.md for the site list and "
+             "recovery guarantees)")
+    cmd.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for the fault plan's decision oracle (default 0); "
+             "same plan + seed reproduces the exact same failures at "
+             "any --jobs")
+
+
+def _parse_faults(args):
+    """``(plan, error_message)`` for the invocation's --faults flags."""
+    from .faults import FaultPlan, FaultSpecError, NULL_PLAN
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return NULL_PLAN, None
+    try:
+        return FaultPlan.parse(spec, seed=args.fault_seed), None
+    except FaultSpecError as exc:
+        return None, str(exc)
+
+
 def _add_cache_options(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--cache-dir", default=None,
                      help="result-cache directory "
@@ -184,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "instead of the live frame")
     _add_decode_options(grid_cmd)
     _add_obs_options(grid_cmd)
+    _add_fault_options(grid_cmd)
     _add_cache_options(grid_cmd)
 
     fleet_cmd = sub.add_parser(
@@ -216,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
              "the run instead of unlinking them")
     _add_decode_options(fleet_cmd)
     _add_obs_options(fleet_cmd)
+    _add_fault_options(fleet_cmd)
     _add_grid_options(fleet_cmd)
     _add_cache_options(fleet_cmd)
 
@@ -258,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also write the report to this path")
     _add_decode_options(serve_cmd)
     _add_obs_options(serve_cmd)
+    _add_fault_options(serve_cmd)
     _add_grid_options(serve_cmd)
     _add_cache_options(serve_cmd)
 
@@ -352,8 +381,12 @@ def _cmd_grid(args) -> int:
     if cache_error:
         print(f"error: {cache_error}", file=sys.stderr)
         return 2
+    faults, fault_error = _parse_faults(args)
+    if fault_error:
+        print(f"error: {fault_error}", file=sys.stderr)
+        return 2
     runner = grid_mod.GridRunner(seed=args.seed, cache=cache,
-                                 jobs=args.jobs)
+                                 jobs=args.jobs, faults=faults)
     registry = _obs_start(args)
     print(f"grid: {len(specs)} cells x {args.minutes} simulated minutes, "
           f"seed {args.seed}, {args.jobs} job(s), "
@@ -416,10 +449,15 @@ def _cmd_fleet(args) -> int:
     if cache_error:
         print(f"error: {cache_error}", file=sys.stderr)
         return 2
+    faults, fault_error = _parse_faults(args)
+    if fault_error:
+        print(f"error: {fault_error}", file=sys.stderr)
+        return 2
     runner = fleet_mod.FleetRunner(cache=cache, jobs=args.jobs,
                                    decode_tier=args.decode_tier,
                                    shm_columns=args.shm_columns,
-                                   shm_keep=args.shm_keep)
+                                   shm_keep=args.shm_keep,
+                                   faults=faults)
     registry = _obs_start(args)
     # Progress and timing go to stderr: the stdout report is a pure
     # function of (population, seed) — byte-identical across --jobs.
@@ -474,6 +512,10 @@ def _cmd_serve(args) -> int:
     from . import fleet as fleet_mod
     from . import service as service_mod
     _apply_decode_tier(args)
+    faults, fault_error = _parse_faults(args)
+    if fault_error:
+        print(f"error: {fault_error}", file=sys.stderr)
+        return 2
     try:
         mixes = fleet_mod.parse_mix(args.mix)
         population = fleet_mod.PopulationSpec(
@@ -481,7 +523,8 @@ def _cmd_serve(args) -> int:
         config = service_mod.ServiceConfig(
             window=args.window, credits=args.credits,
             segments=args.segments,
-            checkpoint_every=args.checkpoint_every)
+            checkpoint_every=args.checkpoint_every,
+            faults=faults)
     except (fleet_mod.MixError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

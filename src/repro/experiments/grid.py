@@ -33,6 +33,7 @@ from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Set, Tuple, Union)
 
 from ..analysis.pipeline import AuditPipeline
+from ..faults import NULL_PLAN, FaultPlan, produce_with_retries
 from ..net.addresses import Ipv4Address
 from ..obs.metrics import get_registry, metrics_enabled, scoped
 from ..testbed.campaign import CampaignRunner, cell_key
@@ -364,13 +365,21 @@ def _execute_cell(payload: Tuple) -> Tuple[Dict, bytes, Optional[Dict]]:
     without double counting.
     """
     (vendor, country, scenario, phase, duration_ns, seed,
-     validate_results, collect_metrics) = payload
+     validate_results, collect_metrics, plan_tuple) = payload
     spec = ExperimentSpec(Vendor(vendor), Country(country),
                           Scenario(scenario), Phase(phase), duration_ns)
+    faults = FaultPlan.from_tuple(plan_tuple)
     with scoped(collect_metrics) as registry:
         started = time.perf_counter()
-        with get_registry().span("grid.simulate"):
-            result = run_experiment(spec, seed=seed)
+
+        def simulate():
+            with get_registry().span("grid.simulate"):
+                return run_experiment(spec, seed=seed)
+
+        # Injected worker crashes/hangs are keyed by the cell label, so
+        # the retry counters are identical at any job count.
+        result, __ = produce_with_retries(faults, (spec.label,),
+                                          simulate)
         if validate_results:
             report = validate(result)
             if not report.ok:
@@ -383,11 +392,11 @@ def _execute_cell(payload: Tuple) -> Tuple[Dict, bytes, Optional[Dict]]:
     return record.meta(), zlib.compress(result.pcap_bytes, 1), snapshot
 
 
-def _payload(spec: ExperimentSpec, seed: int,
-             validate_results: bool) -> Tuple:
+def _payload(spec: ExperimentSpec, seed: int, validate_results: bool,
+             faults: FaultPlan = NULL_PLAN) -> Tuple:
     return (spec.vendor.value, spec.country.value, spec.scenario.value,
             spec.phase.value, spec.duration_ns, seed, validate_results,
-            metrics_enabled())
+            metrics_enabled(), faults.as_tuple())
 
 
 def warm_assets(specs: Sequence[ExperimentSpec] = (),
@@ -419,11 +428,13 @@ class GridRunner:
 
     def __init__(self, seed: int = DEFAULT_SEED,
                  cache: Optional[ResultCache] = None, jobs: int = 1,
-                 validate_results: bool = True) -> None:
+                 validate_results: bool = True,
+                 faults: FaultPlan = NULL_PLAN) -> None:
         self.seed = seed
         self.cache = cache
         self.jobs = max(1, jobs)
         self.validate_results = validate_results
+        self.faults = faults
 
     def run(self, specs: Sequence[ExperimentSpec],
             progress: Optional[ProgressFn] = None) -> List[CellRecord]:
@@ -452,7 +463,8 @@ class GridRunner:
         if self.jobs == 1 or len(missing) == 1:
             for index, spec in missing:
                 meta, compressed, snapshot = _execute_cell(
-                    _payload(spec, self.seed, self.validate_results))
+                    _payload(spec, self.seed, self.validate_results,
+                             self.faults))
                 get_registry().absorb(snapshot)
                 yield index, spec, self._record(meta, compressed)
             return
@@ -465,7 +477,8 @@ class GridRunner:
         with concurrent.futures.ProcessPoolExecutor(workers) as pool:
             futures = {
                 pool.submit(_execute_cell, _payload(
-                    spec, self.seed, self.validate_results)):
+                    spec, self.seed, self.validate_results,
+                    self.faults)):
                 (index, spec)
                 for index, spec in missing}
             for future in concurrent.futures.as_completed(futures):

@@ -106,7 +106,7 @@ class FleetAggregate:
         "cadence_sum_ns_by_vendor", "cadence_intervals_by_vendor",
         "optin_households", "optin_acr_households",
         "optout_households", "optout_acr_households",
-        "domain_households",
+        "domain_households", "degradations",
     )
 
     def __init__(self) -> None:
@@ -139,6 +139,11 @@ class FleetAggregate:
         self.optout_acr_households = 0
         #: domain -> number of households that contacted it
         self.domain_households: Counter = Counter()
+        #: evidence string -> occurrences, one per capture record (or
+        #: segment) quarantined instead of audited.  Empty on every
+        #: clean run, so the report and checkpoints are byte-identical
+        #: with and without the fault layer present.
+        self.degradations: Counter = Counter()
 
     # -- accumulation -----------------------------------------------------------
 
@@ -188,6 +193,8 @@ class FleetAggregate:
 
         for domain in summary["acr_domains"]:
             self.domain_households[domain] += 1
+        for evidence in summary.get("degradations", ()):
+            self.degradations[evidence] += 1
         return self
 
     def merge(self, other: "FleetAggregate") -> "FleetAggregate":

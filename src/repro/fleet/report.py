@@ -129,4 +129,19 @@ def render_population_report(aggregate: FleetAggregate,
     else:
         sections.append("## ACR domains observed\n\nnone")
 
+    # -- degradations -----------------------------------------------------------
+    # Quarantined capture records, with evidence.  Rendered only when
+    # present, so every clean run's report stays byte-identical to one
+    # produced before degradation tracking existed.
+    if agg.degradations:
+        degradation_rows = [[evidence, count] for evidence, count
+                            in sorted(agg.degradations.items())]
+        sections.append(
+            "## Degradations\n\n"
+            "Capture records the audit quarantined instead of "
+            "decoding; their traffic is excluded from every figure "
+            "above.\n\n"
+            + render_table(["evidence", "occurrences"],
+                           degradation_rows))
+
     return "\n\n".join(sections) + "\n"

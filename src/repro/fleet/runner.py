@@ -29,9 +29,13 @@ import time
 from typing import Callable, List, Optional, Tuple
 
 from ..analysis.pipeline import AuditPipeline, ColumnarAuditPipeline
+from ..faults import (NULL_PLAN, FaultPlan, degradation_evidence,
+                      produce_with_retries, salvage_pcap_bytes,
+                      tamper_pcap_bytes)
 from ..experiments.grid import (CacheReadError, ResultCache,
                                 record_from_result, warm_assets)
 from ..net.addresses import Ipv4Address
+from ..net.pcap import GLOBAL_HEADER, PcapError
 from ..net.tiers import resolve_tier
 from ..obs.metrics import get_registry, metrics_enabled, scoped
 from ..testbed.runner import run_session
@@ -102,7 +106,8 @@ def _audit_household(household: HouseholdSpec,
                      cache: Optional[ResultCache],
                      validate_results: bool,
                      tier: Optional[str] = None,
-                     arena: Optional[ColumnArena] = None
+                     arena: Optional[ColumnArena] = None,
+                     faults: FaultPlan = NULL_PLAN
                      ) -> Tuple[dict, bool, Optional[str]]:
     """Run (or recall) one household and reduce it to a summary.
 
@@ -115,6 +120,13 @@ def _audit_household(household: HouseholdSpec,
     if arena is not None:
         key = shm_key(household.label, household.diary_obj.duration_ns,
                       household.seed, cache.version if cache else None)
+        if faults and faults.fires("shm.vanish", household.index):
+            # The published segment disappears out from under us (a
+            # purge, a reboot, another run's unlink); recovery is the
+            # local decode below.
+            registry.inc("faults.injected.shm.vanish")
+            ColumnArena.unlink(key)
+            registry.inc("faults.recovered.shm.fallback")
         attached = arena.attach(key)
         if attached is not None:
             capture, meta = attached
@@ -128,19 +140,45 @@ def _audit_household(household: HouseholdSpec,
             return summary, False, key
     record, executed = household_record(household, cache,
                                         validate_results)
+    pcap_bytes = record.pcap_bytes
+    packet_count, pcap_len = record.packet_count, record.pcap_len
+    if faults:
+        pcap_bytes, __ = tamper_pcap_bytes(faults, pcap_bytes,
+                                           household.index)
+    degradations: List[str] = []
+    tv_ip = Ipv4Address.parse(record.tv_ip)
     with registry.span("fleet.decode"):
-        pipeline = AuditPipeline.from_pcap_bytes(
-            record.pcap_bytes, Ipv4Address.parse(record.tv_ip),
-            tier=tier)
+        try:
+            pipeline = AuditPipeline.from_pcap_bytes(
+                pcap_bytes, tv_ip, tier=tier)
+        except (PcapError, ValueError) as exc:
+            # Quarantine-and-continue: salvage what still decodes and
+            # surface every dropped record as counted evidence instead
+            # of aborting the shard.
+            clean, drops = salvage_pcap_bytes(pcap_bytes)
+            registry.inc("faults.degraded.captures")
+            registry.inc("faults.degraded.records", len(drops))
+            for record_index, reason in drops:
+                degradations.append(degradation_evidence(
+                    household.label, household.index, None,
+                    record_index, reason))
+            pipeline = AuditPipeline.from_pcap_bytes(
+                clean, tv_ip, tier=tier) if clean \
+                else AuditPipeline.incremental(tv_ip)
+            packet_count = len(pipeline.packets)
+            pcap_len = max(len(clean), GLOBAL_HEADER.size)
     touched = None
-    if arena is not None and isinstance(pipeline, ColumnarAuditPipeline):
+    if (arena is not None and not degradations
+            and isinstance(pipeline, ColumnarAuditPipeline)):
         touched = arena.publish(
             key, pipeline.packets,
             {"tv_ip": record.tv_ip, "label": household.label,
              "packet_count": record.packet_count,
              "pcap_len": record.pcap_len})
     summary = summarize_household(household, pipeline,
-                                  record.packet_count, record.pcap_len)
+                                  packet_count, pcap_len)
+    if degradations:
+        summary["degradations"] = degradations
     registry.inc("fleet.households")
     # Drop the heavy objects before the next household: the aggregate
     # keeps only the summary's integers.
@@ -161,9 +199,10 @@ def _run_shard(payload) -> Tuple[FleetAggregate, int, int,
     attached).  Never a capture.
     """
     (household_tuples, cache_root, cache_version, validate_results,
-     collect_metrics, tier, shm_columns) = payload
+     collect_metrics, tier, shm_columns, plan_tuple) = payload
     cache = ResultCache(cache_root, version=cache_version) \
         if cache_root else None
+    faults = FaultPlan.from_tuple(plan_tuple)
     arena = ColumnArena() \
         if shm_columns and resolve_tier(tier) == "columnar" else None
     aggregate = FleetAggregate()
@@ -173,8 +212,14 @@ def _run_shard(payload) -> Tuple[FleetAggregate, int, int,
         with get_registry().span("fleet.shard"):
             for values in household_tuples:
                 household = HouseholdSpec.from_tuple(values)
-                summary, ran, key = _audit_household(
-                    household, cache, validate_results, tier, arena)
+                # An injected audit-worker crash/hang kills this
+                # household's attempt mid-shard; the bounded retry
+                # makes the shard self-healing.
+                (summary, ran, key), __ = produce_with_retries(
+                    faults, (household.index,),
+                    lambda: _audit_household(
+                        household, cache, validate_results, tier,
+                        arena, faults))
                 aggregate.fold(summary)
                 if key is not None:
                     touched.append(key)
@@ -217,7 +262,8 @@ class FleetRunner:
                  validate_results: bool = True,
                  decode_tier: Optional[str] = None,
                  shm_columns: bool = False,
-                 shm_keep: bool = False) -> None:
+                 shm_keep: bool = False,
+                 faults: FaultPlan = NULL_PLAN) -> None:
         if shard_size <= 0:
             raise ValueError("shard size must be positive")
         self.cache = cache
@@ -229,6 +275,7 @@ class FleetRunner:
         self.decode_tier = resolve_tier(decode_tier)
         self.shm_columns = shm_columns
         self.shm_keep = shm_keep
+        self.faults = faults
 
     def _payloads(self, population: PopulationSpec) -> List[Tuple]:
         cache_root = self.cache.root if self.cache else None
@@ -237,7 +284,8 @@ class FleetRunner:
         return [
             (tuple(households[start:start + self.shard_size]),
              cache_root, cache_version, self.validate_results,
-             metrics_enabled(), self.decode_tier, self.shm_columns)
+             metrics_enabled(), self.decode_tier, self.shm_columns,
+             self.faults.as_tuple())
             for start in range(0, len(households), self.shard_size)]
 
     def run(self, population: PopulationSpec,
@@ -277,12 +325,22 @@ class FleetRunner:
                 # inherit the per-country reference libraries
                 # copy-on-write instead of each rebuilding them.
                 warm_assets(countries=population.countries())
+            failed: List[int] = []
             with concurrent.futures.ProcessPoolExecutor(workers) as pool:
                 futures = {
                     pool.submit(_run_shard, payload): index
                     for index, payload in enumerate(payloads)}
                 for future in concurrent.futures.as_completed(futures):
-                    collect(futures[future], future.result())
+                    try:
+                        collect(futures[future], future.result())
+                    except concurrent.futures.process.BrokenProcessPool:
+                        # A worker died for real (OOM-kill, segfault).
+                        # The pool is unusable from here on; requeue
+                        # every lost shard for the serial pass below.
+                        failed.append(futures[future])
+            for index in sorted(failed):
+                get_registry().inc("retry.shard.requeued")
+                collect(index, _run_shard(payloads[index]))
 
         aggregate = merge_all(output[0] for output in shard_outputs)
         executed = sum(output[1] for output in shard_outputs)

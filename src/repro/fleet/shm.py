@@ -161,23 +161,36 @@ class ColumnArena:
             except FileNotFoundError:
                 return None
             _untrack(segment)
-            buf = segment.buf
-            header_len = int.from_bytes(buf[0:8], "little")
-            header = json.loads(bytes(buf[8:8 + header_len]))
-            data_start = _align8(8 + header_len)
-            columns: Dict[str, np.ndarray] = {}
-            for descriptor in header["columns"]:
-                array = np.frombuffer(
-                    buf, dtype=np.dtype(descriptor["dtype"]),
-                    count=descriptor["count"],
-                    offset=data_start + descriptor["offset"])
-                array.flags.writeable = False
-                columns[descriptor["name"]] = array
-            pcap_start = data_start + header["pcap"]["offset"]
-            pcap = buf[pcap_start:pcap_start + header["pcap"]["length"]] \
-                .toreadonly()
-            capture = ColumnarCapture.from_columns(columns, pcap,
-                                                   owner=segment)
+            try:
+                buf = segment.buf
+                header_len = int.from_bytes(buf[0:8], "little")
+                header = json.loads(bytes(buf[8:8 + header_len]))
+                data_start = _align8(8 + header_len)
+                columns: Dict[str, np.ndarray] = {}
+                for descriptor in header["columns"]:
+                    array = np.frombuffer(
+                        buf, dtype=np.dtype(descriptor["dtype"]),
+                        count=descriptor["count"],
+                        offset=data_start + descriptor["offset"])
+                    array.flags.writeable = False
+                    columns[descriptor["name"]] = array
+                pcap_start = data_start + header["pcap"]["offset"]
+                pcap = buf[pcap_start:
+                           pcap_start + header["pcap"]["length"]] \
+                    .toreadonly()
+                capture = ColumnarCapture.from_columns(columns, pcap,
+                                                       owner=segment)
+            except (BufferError, ValueError, KeyError, IndexError,
+                    TypeError, OSError, json.JSONDecodeError):
+                # A vanished mapping, torn header, or garbage segment
+                # is a cache miss, never an error: the caller decodes
+                # the capture locally instead.
+                registry.inc("decode.columnar.shm.attach_error")
+                try:
+                    segment.close()
+                except BufferError:
+                    pass
+                return None
             self._open[key] = segment
         if registry.enabled:
             registry.inc("decode.columnar.shm.attach")

@@ -161,6 +161,19 @@ def render_frame(view: DashboardView, width: int = 80,
              f"{skipped} skip)")
     elif built:
         emit(f"columns  {built} pkts decoded (no shared-memory arena)")
+    injected = sum(value for name, value in counters.items()
+                   if name.startswith("faults.injected."))
+    recovered = sum(value for name, value in counters.items()
+                    if name.startswith("faults.recovered."))
+    degraded = sum(value for name, value in counters.items()
+                   if name.startswith("faults.degraded."))
+    if injected or recovered or degraded:
+        # Fault-injection recovery meter; absent entirely on clean runs
+        # so the existing golden frames stay byte-identical.
+        fraction = min(1.0, recovered / injected) if injected else 1.0
+        emit(f"faults   {meter(fraction, 20)} "
+             f"{recovered}/{injected} recovered   "
+             f"{degraded} degraded")
     if view.aggregate is not None and view.aggregate.households:
         emit()
         for line in _heatmap_lines(view.aggregate, inner):

@@ -16,12 +16,15 @@ capture.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..analysis.pipeline import AuditPipeline
+from ..faults import degradation_evidence, salvage_pcap_bytes
 from ..fleet.aggregate import summarize_household
 from ..fleet.population import HouseholdSpec
 from ..net.addresses import Ipv4Address
+from ..net.pcap import PcapError
+from ..obs.metrics import get_registry
 from .segments import PCAP_HEADER_LEN, CaptureSegment
 from .state import LiveState
 
@@ -30,7 +33,7 @@ class HouseholdIngest:
     """Streaming audit state for one in-flight household."""
 
     __slots__ = ("household", "pipeline", "packet_count", "pcap_len",
-                 "segments_ingested")
+                 "segments_ingested", "degradations")
 
     def __init__(self, household: HouseholdSpec, tv_ip: str) -> None:
         self.household = household
@@ -40,22 +43,78 @@ class HouseholdIngest:
         #: batch capture carries once, then adds each segment's records.
         self.pcap_len = PCAP_HEADER_LEN
         self.segments_ingested = 0
+        #: Evidence strings, one per quarantined record — empty on any
+        #: clean capture.
+        self.degradations: List[str] = []
 
     def ingest(self, segment: CaptureSegment) -> None:
-        """Extend the pipeline with one (in-order) segment."""
-        self.packet_count += self.pipeline.extend_pcap_bytes(
-            segment.payload)
-        self.pcap_len += segment.record_bytes
+        """Extend the pipeline with one (in-order) segment.
+
+        A segment the decode tier rejects is quarantined, not fatal:
+        the decodable records are salvaged and applied, each dropped
+        record becomes a degradation evidence string, and byte/packet
+        accounting covers only what was actually audited.
+        """
+        before = len(self.pipeline.packets)
+        try:
+            applied = self.pipeline.extend_pcap_bytes(segment.payload)
+            applied_bytes = segment.record_bytes
+        except (PcapError, ValueError) as exc:
+            applied, applied_bytes = self._quarantine(
+                segment, exc, before)
+        self.packet_count += applied
+        self.pcap_len += applied_bytes
         self.segments_ingested += 1
+
+    def _quarantine(self, segment: CaptureSegment, exc: Exception,
+                    before: int):
+        """Recover what a rejected segment still holds.
+
+        Both decode tiers validate a whole extension before mutating,
+        so the normal case re-extends with the salvaged records.  The
+        defensive branch (state *did* move — possible only for decode
+        errors past that validation surface) degrades the entire
+        segment coarsely rather than risk double-applying records.
+        """
+        registry = get_registry()
+        registry.inc("faults.degraded.segments")
+        household = self.household
+        if len(self.pipeline.packets) != before:
+            evidence = degradation_evidence(
+                household.label, household.index, segment.seq, 0,
+                f"partial segment decode: "
+                f"{type(exc).__name__}: {exc}")
+            self.degradations.append(evidence)
+            registry.inc("faults.degraded.records")
+            return (len(self.pipeline.packets) - before,
+                    segment.record_bytes)
+        clean, drops = salvage_pcap_bytes(segment.payload)
+        applied = self.pipeline.extend_pcap_bytes(clean) \
+            if len(clean) > PCAP_HEADER_LEN else 0
+        for record_index, reason in drops:
+            self.degradations.append(degradation_evidence(
+                household.label, household.index, segment.seq,
+                record_index, reason))
+        registry.inc("faults.degraded.records", len(drops))
+        return applied, max(len(clean) - PCAP_HEADER_LEN, 0)
 
     @property
     def tracked_flows(self) -> int:
         return len(self.pipeline.flows)
 
     def summarize(self) -> Dict[str, object]:
-        """The finished household summary (batch-identical)."""
-        return summarize_household(self.household, self.pipeline,
-                                   self.packet_count, self.pcap_len)
+        """The finished household summary (batch-identical).
+
+        ``degradations`` appears only when records were quarantined,
+        so a clean household's summary — and everything folded from it
+        — is byte-identical to one produced before the fault layer
+        existed.
+        """
+        summary = summarize_household(self.household, self.pipeline,
+                                      self.packet_count, self.pcap_len)
+        if self.degradations:
+            summary["degradations"] = list(self.degradations)
+        return summary
 
 
 class IncrementalAuditor:

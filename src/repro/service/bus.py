@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..faults import NULL_PLAN, FaultPlan
 from ..obs.metrics import get_registry
 from .segments import CaptureSegment
 
@@ -46,13 +47,17 @@ class SegmentBus:
 
     def __init__(self, sink: SinkFn, credits: int = DEFAULT_CREDITS,
                  on_complete: Optional[CompleteFn] = None,
-                 on_drain: Optional[DrainFn] = None) -> None:
+                 on_drain: Optional[DrainFn] = None,
+                 faults: FaultPlan = NULL_PLAN) -> None:
         if credits <= 0:
             raise ValueError("credit window must be positive")
         self._sink = sink
         self.credits = credits
         self._on_complete = on_complete
         self._on_drain = on_drain
+        self._faults = faults
+        # (household, seq) -> injected starvation refusals so far.
+        self._starved: Dict[Tuple[int, int], int] = {}
         self._lanes: Dict[int, _HouseholdLane] = {}
         # Telemetry for the bounded-memory assertions.
         self.delivered = 0
@@ -86,6 +91,23 @@ class SegmentBus:
             self.refused += 1
             get_registry().inc("bus.refused")
             return False
+        if self._faults:
+            slot = (segment.household_index, segment.seq)
+            occurrence = self._starved.get(slot, 0)
+            if self._faults.fires_bounded("segment.starve", occurrence,
+                                          *slot):
+                # Injected credit starvation: refuse an admissible
+                # offer.  Bounded per (household, seq), so a retrying
+                # producer is always admitted within the attempt cap.
+                self._starved[slot] = occurrence + 1
+                self.refused += 1
+                registry = get_registry()
+                registry.inc("bus.refused")
+                registry.inc("faults.injected.segment.starve")
+                return False
+            if occurrence:
+                del self._starved[slot]
+                get_registry().inc("faults.recovered.segment.starve")
         lane.buffered[segment.seq] = segment
         self.peak_buffered = max(self.peak_buffered,
                                  self.buffered_segments)
@@ -128,6 +150,12 @@ class SegmentBus:
     @property
     def buffered_segments(self) -> int:
         return sum(len(lane.buffered) for lane in self._lanes.values())
+
+    def is_open(self, household_index: int) -> bool:
+        """Is this household's lane still accepting offers?  (A lane
+        closes the instant its last segment delivers, so late injected
+        duplicates and resends must check before offering.)"""
+        return household_index in self._lanes
 
     def admissible(self, household_index: int, seq: int) -> bool:
         """Would ``offer`` accept (or ignore) this seq right now?"""

@@ -36,6 +36,9 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..experiments.grid import ResultCache, warm_assets
+from ..faults import (NULL_PLAN, FaultPlan, InjectedFault,
+                      maybe_raise_worker_fault, produce_with_retries,
+                      tamper_pcap_bytes)
 from ..fleet.population import HouseholdSpec, PopulationSpec
 from ..fleet.runner import household_record
 from ..obs.metrics import get_registry, metrics_enabled, scoped
@@ -56,6 +59,27 @@ ARRIVAL_SPREAD_NS = seconds(2)
 #: the bus reports credit was freed.
 RETRY_DELAY_NS = milliseconds(5)
 
+#: Virtual-time cost of one injected capture-worker crash: the retry
+#: backoff pushes the household's segment arrivals this much later.
+RETRY_BACKOFF_NS = milliseconds(50)
+
+#: Virtual-time cost of one injected capture-worker hang — a hang is
+#: only *detected* by timeout, so it costs more than a crash.
+HANG_TIMEOUT_NS = seconds(1)
+
+#: Virtual delay before an injected-dropped segment is redelivered
+#: (the producer's resend).
+RESEND_DELAY_NS = milliseconds(80)
+
+#: A duplicated segment's second delivery trails the first by this.
+DUP_DELAY_NS = milliseconds(30)
+
+#: Timed safety-net retry for parked segments while faults are active:
+#: injected credit starvation breaks the "the cursor segment is always
+#: admissible" invariant the drain-driven retry relies on, so a parked
+#: household is also re-polled on a timer (fault runs only).
+STARVE_RETRY_NS = milliseconds(11)
+
 ProgressFn = Callable[[int, int, int, int], None]
 
 #: Richer progress hook: (done, total, executed, cached, LiveState) —
@@ -74,15 +98,18 @@ class ServiceStopped(RuntimeError):
 class ServiceConfig:
     """Streaming knobs.  All of them may change between a kill and a
     resume without perturbing the report — only the fleet identity
-    (seed + mixes) is load-bearing."""
+    (seed + mixes) is load-bearing.  (``faults`` with *lossy* sites —
+    ``pcap.*`` — is the one exception: quarantined records change what
+    gets audited, visibly and with evidence.)"""
 
     __slots__ = ("window", "credits", "segments", "checkpoint_every",
-                 "arrival_seed", "validate_results")
+                 "arrival_seed", "validate_results", "faults")
 
     def __init__(self, window: int = 8, credits: int = DEFAULT_CREDITS,
                  segments: int = 6, checkpoint_every: int = 25,
                  arrival_seed: Optional[int] = None,
-                 validate_results: bool = True) -> None:
+                 validate_results: bool = True,
+                 faults: FaultPlan = NULL_PLAN) -> None:
         if window <= 0:
             raise ValueError("household window must be positive")
         if credits <= 0:
@@ -95,6 +122,7 @@ class ServiceConfig:
         self.checkpoint_every = checkpoint_every
         self.arrival_seed = arrival_seed
         self.validate_results = validate_results
+        self.faults = faults
 
 
 class ServiceResult:
@@ -142,11 +170,16 @@ def _produce(payload) -> Tuple[int, str, bytes, bool, Optional[dict]]:
     The trailing metrics snapshot (``None`` unless the parent had
     metrics enabled) is collected in a worker-local registry so the
     parent can absorb simulate spans and cache counters from pool
-    workers too.
+    workers too.  An injected worker crash/hang raises out of the
+    worker *before* production — the parent counts it and resubmits
+    with the next attempt number, so injection totals live entirely
+    parent-side and stay jobs-invariant.
     """
     (household_tuple, cache_root, cache_version, validate,
-     collect_metrics) = payload
+     collect_metrics, plan_tuple, attempt) = payload
     household = HouseholdSpec.from_tuple(household_tuple)
+    maybe_raise_worker_fault(FaultPlan.from_tuple(plan_tuple), attempt,
+                             household.index)
     cache = ResultCache(cache_root, version=cache_version) \
         if cache_root else None
     with scoped(collect_metrics) as registry:
@@ -167,12 +200,14 @@ class _CaptureSource:
 
     def __init__(self, queue: List[HouseholdSpec],
                  cache: Optional[ResultCache], jobs: int,
-                 validate: bool, lookahead: int) -> None:
+                 validate: bool, lookahead: int,
+                 faults: FaultPlan = NULL_PLAN) -> None:
         self._queue = queue
         self._cache = cache
         self._validate = validate
         self._lookahead = max(1, lookahead)
         self._jobs = max(1, jobs)
+        self._faults = faults
         self._pool = None
         self._futures: Dict[int, concurrent.futures.Future] = {}
         self._next_submit = 0
@@ -196,11 +231,12 @@ class _CaptureSource:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
-    def _payload(self, household: HouseholdSpec):
+    def _payload(self, household: HouseholdSpec, attempt: int = 0):
         return (household.as_tuple(),
                 self._cache.root if self._cache else None,
                 self._cache.version if self._cache else None,
-                self._validate, metrics_enabled())
+                self._validate, metrics_enabled(),
+                self._faults.as_tuple(), attempt)
 
     def _top_up(self) -> None:
         while (self._next_submit < len(self._queue)
@@ -210,22 +246,51 @@ class _CaptureSource:
                 _produce, self._payload(household))
             self._next_submit += 1
 
-    def get(self, household: HouseholdSpec) -> Tuple[str, bytes]:
-        """The capture for one household (blocks on wall time only)."""
+    def get(self, household: HouseholdSpec) -> Tuple[str, bytes, int]:
+        """The capture for one household (blocks on wall time only).
+
+        Returns ``(tv_ip, pcap, backoff_ns)`` — the virtual-time cost
+        of any injected crash/hang retries spent producing it, for the
+        caller to add to the household's segment arrival times.  Sync
+        and pool paths consult the same fault oracle with the same
+        coordinates and count parent-side, so both the backoff and the
+        counters are identical at any ``--jobs``.
+        """
         if self._pool is None:
-            record, executed = household_record(
-                household, self._cache, self._validate)
+            (record, executed), sites = produce_with_retries(
+                self._faults, (household.index,),
+                lambda: household_record(household, self._cache,
+                                         self._validate))
             tv_ip, pcap = record.tv_ip, record.pcap_bytes
         else:
+            registry = get_registry()
             future = self._futures.pop(household.index)
-            __, tv_ip, pcap, executed, snapshot = future.result()
+            sites = []
+            while True:
+                try:
+                    (__, tv_ip, pcap, executed,
+                     snapshot) = future.result()
+                    break
+                except InjectedFault as fault:
+                    sites.append(fault.site)
+                    registry.inc(f"faults.injected.{fault.site}")
+                    registry.inc("retry.worker.attempts")
+                    future = self._pool.submit(
+                        _produce,
+                        self._payload(household,
+                                      attempt=fault.attempt + 1))
+            for site in sites:
+                registry.inc(f"faults.recovered.{site}")
             get_registry().absorb(snapshot)
             self._top_up()
         if executed:
             self.executed += 1
         else:
             self.cached += 1
-        return tv_ip, pcap
+        backoff_ns = sum(
+            HANG_TIMEOUT_NS if site == "worker.hang"
+            else RETRY_BACKOFF_NS for site in sites)
+        return tv_ip, pcap, backoff_ns
 
 
 class AuditService:
@@ -285,6 +350,7 @@ class AuditService:
         total = self.population.households
         parked: Dict[int, Dict[int, CaptureSegment]] = {}
         since_checkpoint = 0
+        faults = config.faults
 
         def on_complete(index: int) -> None:
             nonlocal since_checkpoint
@@ -314,12 +380,23 @@ class AuditService:
                 loop.call_after(RETRY_DELAY_NS, retry, index)
 
         bus = SegmentBus(auditor.ingest, credits=config.credits,
-                         on_complete=on_complete, on_drain=on_drain)
+                         on_complete=on_complete, on_drain=on_drain,
+                         faults=faults)
 
         def offer(segment: CaptureSegment) -> None:
+            if not bus.is_open(segment.household_index):
+                # A late injected resend/duplicate for a household
+                # whose lane already closed: nothing left to deliver.
+                return
             if not bus.offer(segment):
                 parked.setdefault(segment.household_index, {})[
                     segment.seq] = segment
+                if faults:
+                    # Injected starvation can refuse even the cursor
+                    # segment, which the drain-driven retry can never
+                    # unblock — poll on a timer while faults are live.
+                    loop.call_after(STARVE_RETRY_NS, retry,
+                                    segment.household_index)
 
         def retry(index: int) -> None:
             waiting = parked.get(index)
@@ -329,9 +406,41 @@ class AuditService:
             # Deterministic retry order; the bus re-parks what the
             # credit window still refuses.
             for seq in sorted(waiting):
+                if not bus.is_open(index):
+                    # An injected duplicate finished the lane while
+                    # originals sat parked; drop the leftovers.
+                    waiting.clear()
+                    return
                 segment = waiting.pop(seq)
                 if not bus.offer(segment):
                     waiting[segment.seq] = segment
+            if waiting and faults:
+                loop.call_after(STARVE_RETRY_NS, retry, index)
+
+        def deliver(segment: CaptureSegment, occurrence: int) -> None:
+            household_index = segment.household_index
+            seq = segment.seq
+            if faults:
+                registry = get_registry()
+                if faults.fires_bounded("segment.drop", occurrence,
+                                        household_index, seq):
+                    # Lost in transit; the producer resends later.
+                    registry.inc("faults.injected.segment.drop")
+                    loop.call_after(RESEND_DELAY_NS, deliver, segment,
+                                    occurrence + 1)
+                    return
+                if occurrence:
+                    registry.inc("faults.recovered.segment.drop",
+                                 occurrence)
+                if faults.fires("segment.reorder", household_index,
+                                seq):
+                    # Landed (out of order); the bus reorders natively.
+                    registry.inc("faults.recovered.segment.reorder")
+            offer(segment)
+
+        def deliver_dup(segment: CaptureSegment) -> None:
+            offer(segment)
+            get_registry().inc("faults.recovered.segment.dup")
 
         admit_cursor = 0
 
@@ -341,25 +450,49 @@ class AuditService:
                    and auditor.open_households < config.window):
                 household = queue[admit_cursor]
                 admit_cursor += 1
-                tv_ip, pcap = source.get(household)
+                tv_ip, pcap, backoff_ns = source.get(household)
                 segments = segment_record(household.index, pcap,
                                           config.segments)
                 auditor.open(household, tv_ip)
                 bus.open(household.index, len(segments))
                 registry = get_registry()
                 for segment in segments:
-                    jitter_ns = self._jitter_ns(household.index,
-                                                segment.seq)
+                    seq = segment.seq
+                    if faults:
+                        payload, hit = tamper_pcap_bytes(
+                            faults, segment.payload, household.index,
+                            seq)
+                        if hit:
+                            segment = CaptureSegment(
+                                household.index, seq, segment.total,
+                                payload)
+                    jitter_ns = self._jitter_ns(household.index, seq)
+                    if faults and faults.fires(
+                            "segment.reorder", household.index, seq):
+                        # Scramble this segment's arrival to anywhere
+                        # in the household's spread.
+                        registry.inc("faults.injected.segment.reorder")
+                        jitter_ns = 1 + int(
+                            faults.draw("segment.reorder.jitter",
+                                        household.index, seq)
+                            * ARRIVAL_SPREAD_NS)
+                    jitter_ns += backoff_ns
                     if registry.enabled:
                         # Virtual-time lag between a household's
                         # admission and each segment's arrival.
                         registry.observe("service.arrival_lag.sim_ms",
                                          jitter_ns / 1e6)
-                    loop.call_after(jitter_ns, offer, segment)
+                    loop.call_after(jitter_ns, deliver, segment, 0)
+                    if faults and faults.fires(
+                            "segment.dup", household.index, seq):
+                        registry.inc("faults.injected.segment.dup")
+                        loop.call_after(jitter_ns + DUP_DELAY_NS,
+                                        deliver_dup, segment)
 
         with _CaptureSource(queue, self.cache, self.jobs,
                             config.validate_results,
-                            lookahead=config.window) as source:
+                            lookahead=config.window,
+                            faults=faults) as source:
             admit_next()
             while loop.pending:
                 if self.stop_check is not None and self.stop_check():
@@ -393,7 +526,8 @@ class AuditService:
                 population_key(self.population.seed,
                                self.population.mixes),
                 self.population.households,
-                segments_folded=auditor.segments_ingested)
+                segments_folded=auditor.segments_ingested,
+                faults=self.config.faults)
         self.checkpoints_written += 1
         return path
 

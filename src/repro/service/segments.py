@@ -57,14 +57,23 @@ def _record_offsets(raw: bytes) -> List[int]:
     position = PCAP_HEADER_LEN
     size = len(raw)
     header = RECORD_HEADER
+    index = 0
     while position < size:
         if position + header.size > size:
-            raise PcapError("truncated pcap record header")
+            raise PcapError(
+                f"truncated pcap record header: record {index} at "
+                f"byte {position} needs {header.size} header bytes, "
+                f"capture ends after {size - position}")
         incl_len = header.unpack_from(raw, position)[2]
-        position += header.size + incl_len
-        if position > size:
-            raise PcapError("truncated pcap record data")
+        end = position + header.size + incl_len
+        if end > size:
+            raise PcapError(
+                f"truncated pcap record data: record {index} at byte "
+                f"{position} declares {incl_len} data bytes, capture "
+                f"ends after {size - position - header.size}")
+        position = end
         offsets.append(position)
+        index += 1
     return offsets
 
 

@@ -305,6 +305,21 @@ class TestRenderFrame:
         assert "columns  5556 pkts decoded (no shared-memory arena)" \
             in frame
 
+    def test_faults_row_absent_without_fault_counters(self):
+        # Clean runs never show the faults meter, so every pre-existing
+        # golden frame stays byte-identical.
+        assert "faults" not in render_frame(_view(), width=80)
+
+    def test_faults_row_renders_recovery_meter(self):
+        registry = _registry()
+        registry.inc("faults.injected.worker.crash", 4)
+        registry.inc("faults.recovered.worker.crash", 3)
+        registry.inc("faults.degraded.records", 2)
+        frame = render_frame(_view(snapshot=registry.snapshot()),
+                             width=80, color=False)
+        assert ("│ faults   [###############-----] 3/4 recovered   "
+                "2 degraded") in frame
+
     def test_plain_line_is_byte_stable(self):
         line = render_plain_line(_view())
         assert line == ("[fleet] 3/4 households (2 executed, 1 cached)"
@@ -475,3 +490,40 @@ class TestFleetMetricsJobsInvariance:
                      "fleet.shard.wall_ms"):
             assert serial["histograms"][name]["count"] \
                 == parallel["histograms"][name]["count"], name
+
+
+@pytest.mark.slow
+class TestFaultMetricsJobsInvariance:
+    """Injection decisions key on stable identities (household index,
+    attempt), never execution order — so every ``faults.*`` and
+    ``retry.*`` total is identical at any job count."""
+
+    def _run(self, jobs):
+        from repro.faults import FaultPlan
+        population = PopulationSpec(
+            households=3, seed=22,
+            mixes={"country": {"uk": 1.0},
+                   "diary": {"second_screen": 1.0}})
+        plan = FaultPlan.parse("pcap.corrupt:0.9,worker.crash:0.9",
+                               seed=9)
+        registry = enable()
+        try:
+            FleetRunner(cache=None, jobs=jobs, shard_size=1,
+                        faults=plan).run(population)
+            return registry.snapshot()["counters"]
+        finally:
+            disable()
+
+    def test_fault_totals_independent_of_jobs(self):
+        serial = self._run(1)
+        parallel = self._run(8)
+        names = {name for name in list(serial) + list(parallel)
+                 if name.startswith(("faults.", "retry."))}
+        # The plan must actually inject (a vacuous pass would hide a
+        # plumbing regression), and must exercise both kinds of site.
+        assert any(name.startswith("faults.injected.pcap")
+                   for name in names)
+        assert any(name.startswith("faults.recovered.worker")
+                   for name in names)
+        for name in sorted(names):
+            assert serial.get(name, 0) == parallel.get(name, 0), name

@@ -214,6 +214,64 @@ class TestKillResumeEqualsBatch:
                 again.state, population)) == batch_sha
 
 
+@pytest.mark.slow
+class TestCheckpointDurability:
+    """Corrupted snapshots on disk degrade to the newest valid one."""
+
+    def _stop_partway(self, cache, population, ckdir, stop_after=18):
+        ticks = [0]
+
+        def stop_check():
+            ticks[0] += 1
+            return ticks[0] > stop_after
+
+        config = ServiceConfig(segments=5, checkpoint_every=1)
+        with pytest.raises(ServiceStopped):
+            serve_fleet(population, cache=cache, config=config,
+                        checkpoint_dir=ckdir, stop_check=stop_check)
+
+    def test_resume_falls_back_past_corrupt_snapshots(
+            self, cache, population, batch_sha):
+        from repro.service.checkpoint import (checkpoint_path,
+                                              rotated_path,
+                                              rotated_sequences)
+        with tempfile.TemporaryDirectory() as ckdir:
+            self._stop_partway(cache, population, ckdir)
+            sequences = rotated_sequences(ckdir)
+            assert len(sequences) >= 2
+            # Tear the canonical snapshot and flip one byte inside the
+            # newest rotated one (its digest no longer matches): resume
+            # must fall back to an older snapshot, then re-converge.
+            with open(checkpoint_path(ckdir), "r+",
+                      encoding="utf-8") as fileobj:
+                text = fileobj.read()
+                fileobj.seek(0)
+                fileobj.truncate()
+                fileobj.write(text[:len(text) // 2])
+            newest = rotated_path(ckdir, sequences[-1])
+            with open(newest, encoding="utf-8") as fileobj:
+                text = fileobj.read()
+            with open(newest, "w", encoding="utf-8") as fileobj:
+                fileobj.write(text.replace('"households":', '"hauseholds":', 1))
+            resumed = serve_fleet(
+                population, cache=cache,
+                config=ServiceConfig(segments=5, checkpoint_every=1),
+                checkpoint_dir=ckdir, resume=True)
+            assert sha(render_population_report(
+                resumed.state, population)) == batch_sha
+
+    def test_rotated_snapshots_stay_bounded(self, cache, population):
+        from repro.service.checkpoint import (CHECKPOINT_KEEP,
+                                              rotated_sequences)
+        with tempfile.TemporaryDirectory() as ckdir:
+            serve_fleet(population, cache=cache,
+                        config=ServiceConfig(segments=4,
+                                             checkpoint_every=1),
+                        checkpoint_dir=ckdir)
+            assert 1 <= len(rotated_sequences(ckdir)) \
+                <= CHECKPOINT_KEEP
+
+
 class TestCheckpointGuards:
     """Simulation-free checkpoint validation behaviour."""
 
