@@ -10,7 +10,7 @@ COV_FLOOR := 75
 
 .PHONY: test test-fast bench bench-grid bench-fleet bench-json \
 	coverage docs-check golden-update report resume-smoke \
-	metrics-smoke tier-smoke chaos-smoke
+	metrics-smoke tier-smoke chaos-smoke findings-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -71,6 +71,14 @@ metrics-smoke:
 # complete with a jobs-invariant degradation-evidence section.
 chaos-smoke:
 	$(PY) scripts/chaos_smoke.py --households $(or $(SMOKE_N),96) \
+		--jobs $(or $(SMOKE_JOBS),8)
+
+# Findings-export invariance smoke: fleet --jobs 1 vs --jobs 8 under a
+# lossy fault plan with roku in the mix must write sha256-identical
+# --findings-out JSONL (carrying real DEG and OPTOUT findings), pass
+# the schema checker, and self-diff to zero changes.
+findings-smoke:
+	$(PY) scripts/findings_smoke.py --households $(or $(SMOKE_N),24) \
 		--jobs $(or $(SMOKE_JOBS),8)
 
 # Decode-tier identity smoke: lazy --jobs 1 vs columnar --jobs 8 with

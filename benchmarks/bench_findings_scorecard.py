@@ -13,7 +13,7 @@ def test_findings_scorecard(benchmark, uk_opted_in_cells,
     rows = [[check.finding_id,
              "PASS" if check.passed else "FAIL",
              check.description,
-             check.evidence[:90]]
+             check.evidence_text()[:90]]
             for check in checks]
     print("\n" + render_table(
         ["id", "result", "paper finding", "evidence"], rows,

@@ -113,6 +113,28 @@ def _obs_stop(registry) -> None:
     disable()
 
 
+def _add_findings_option(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--findings-out", default=None, metavar="PATH",
+        help="write the run's findings ledger here as schema-v1 JSONL "
+             "(sorted, atomic, byte-identical across --jobs; compare "
+             "two exports with `repro.cli findings diff`)")
+
+
+def _write_findings(args, ledger, **meta) -> None:
+    """Export --findings-out (stable JSONL schema; see docs/cli.md).
+
+    ``meta`` deliberately never includes ``--jobs``: the export must be
+    byte-identical however many workers produced the ledger.
+    """
+    if not getattr(args, "findings_out", None):
+        return
+    from .findings import write_findings_jsonl
+    write_findings_jsonl(args.findings_out, ledger,
+                         {"command": args.command, **meta})
+    print(f"wrote {args.findings_out}", file=sys.stderr)
+
+
 def _add_fault_options(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument(
         "--faults", default=None, metavar="SITE:RATE[,..]",
@@ -244,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_decode_options(fleet_cmd)
     _add_obs_options(fleet_cmd)
     _add_fault_options(fleet_cmd)
+    _add_findings_option(fleet_cmd)
     _add_grid_options(fleet_cmd)
     _add_cache_options(fleet_cmd)
 
@@ -287,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_decode_options(serve_cmd)
     _add_obs_options(serve_cmd)
     _add_fault_options(serve_cmd)
+    _add_findings_option(serve_cmd)
     _add_grid_options(serve_cmd)
     _add_cache_options(serve_cmd)
 
@@ -297,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_options(scorecard_cmd)
     _add_vendors_option(scorecard_cmd)
     _add_decode_options(scorecard_cmd)
+    _add_findings_option(scorecard_cmd)
 
     report_cmd = sub.add_parser(
         "report",
@@ -309,6 +334,18 @@ def build_parser() -> argparse.ArgumentParser:
     table_cmd = sub.add_parser("table",
                                help="regenerate a paper table (2-5)")
     table_cmd.add_argument("number", type=int, choices=[2, 3, 4, 5])
+
+    findings_cmd = sub.add_parser(
+        "findings",
+        help="work with --findings-out exports (schema-v1 JSONL)")
+    findings_sub = findings_cmd.add_subparsers(dest="findings_command",
+                                               required=True)
+    diff_cmd = findings_sub.add_parser(
+        "diff",
+        help="compare two findings exports: new regressions, resolved "
+             "findings, severity changes (exit 1 on regressions)")
+    diff_cmd.add_argument("old", help="baseline findings JSONL")
+    diff_cmd.add_argument("new", help="candidate findings JSONL")
     return parser
 
 
@@ -503,6 +540,8 @@ def _cmd_fleet(args) -> int:
         from .util import atomic_write_text
         atomic_write_text(args.out, report)
         print(f"wrote {args.out}", file=sys.stderr)
+    _write_findings(args, result.aggregate.findings,
+                    households=args.households, seed=args.seed)
     return 0
 
 
@@ -613,6 +652,8 @@ def _cmd_serve(args) -> int:
         from .util import atomic_write_text
         atomic_write_text(args.out, report)
         print(f"wrote {args.out}", file=sys.stderr)
+    _write_findings(args, result.state.findings,
+                    households=args.households, seed=args.seed)
     return 0
 
 
@@ -642,6 +683,10 @@ def _cmd_scorecard(args) -> int:
     checks = run_all_checks(seed=args.seed, jobs=args.jobs,
                             vendors=_parse_vendors(args))
     sys.stdout.write(render_checks(checks))
+    from .experiments.findings import ledger_from_checks
+    vendors = _parse_vendors(args)
+    _write_findings(args, ledger_from_checks(checks), seed=args.seed,
+                    vendors=",".join(vendors) if vendors else "all")
     return 1 if any(not check.passed for check in checks) else 0
 
 
@@ -655,6 +700,23 @@ def _cmd_report(args) -> int:
     print(generate(seed=args.seed, jobs=args.jobs,
                    vendors=_parse_vendors(args)))
     return 0
+
+
+def _cmd_findings(args) -> int:
+    """``findings diff OLD NEW``: exit 0 clean, 1 regression, 2 usage."""
+    from .findings import diff_records, read_findings_jsonl
+    try:
+        __, old_records = read_findings_jsonl(args.old)
+        __, new_records = read_findings_jsonl(args.new)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: invalid findings file: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_records(old_records, new_records)
+    sys.stdout.write(diff.render(args.old, args.new))
+    return 1 if diff.is_regression else 0
 
 
 def _cmd_table(args) -> int:
@@ -677,6 +739,7 @@ _COMMANDS = {
     "scorecard": _cmd_scorecard,
     "report": _cmd_report,
     "table": _cmd_table,
+    "findings": _cmd_findings,
 }
 
 

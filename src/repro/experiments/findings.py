@@ -1,12 +1,23 @@
 """The paper's headline findings as executable checks (S1-S12), plus the
 extension-vendor findings (X1-X6) contributed by the plugin registry.
 
-Each check returns a :class:`FindingCheck` with pass/fail plus the
-measured evidence, so benches can print the whole scorecard and tests can
-assert every shape target from DESIGN.md.  Cells are consumed through the
-shared :class:`~repro.experiments.grid.GridResults` API;
+Each check returns a first-class :class:`~repro.findings.Finding` —
+code, title, severity, confidence, pass/fail verdict and structured
+:class:`~repro.findings.Evidence` pointers beside the measured evidence
+text — so benches can print the whole scorecard, tests can assert every
+shape target from DESIGN.md, and ``--findings-out`` can export the run
+as schema-v1 JSONL.  Cells are consumed through the shared
+:class:`~repro.experiments.grid.GridResults` API;
 :func:`required_specs` names every cell the scorecard reads so
 ``run_all_checks(jobs=N)`` can prefetch them on a process pool.
+
+Severity encodes the triage priority of a *failed* instance of the
+check (an opt-out leak is ``critical``; an endpoint-inventory drift is
+``medium``); confidence encodes the measurement methodology (exact
+byte/domain accounting is 1.0, periodicity and ratio statistics 0.9,
+RTT-derived geolocation 0.75, the blocklist heuristic 0.85).  The
+rendered scorecard ignores both, so the plain-text output — pinned by
+the golden corpus — is byte-identical to the pre-model output.
 
 Every check declares the vendor set it covers; ``run_all_checks`` (and
 the CLI's ``scorecard --vendors``) filters on it.  The S checks read only
@@ -23,6 +34,7 @@ from ..analysis.compare import (CountryComparison, PhaseComparison,
                                 acr_volume_total)
 from ..analysis.periodicity import analyze_periodicity
 from ..analysis.volumes import normalize_rotating
+from ..findings import Evidence, Finding, FindingsLedger
 from ..testbed.experiment import (Country, ExperimentSpec, Phase, Scenario,
                                   Vendor, paper_vendors)
 from . import cache
@@ -31,6 +43,9 @@ from .geolocation import run_geo_experiment
 from .grid import enumerate_cells
 
 _PAPER_VENDOR_NAMES = frozenset(v.value for v in paper_vendors())
+
+#: Historical alias: scorecard checks now *are* findings.
+FindingCheck = Finding
 
 
 def covers(*vendor_names: str) -> Callable:
@@ -47,26 +62,28 @@ def paper_finding(check: Callable) -> Callable:
     return check
 
 
-class FindingCheck:
-    """One verified finding."""
-
-    __slots__ = ("finding_id", "description", "passed", "evidence")
-
-    def __init__(self, finding_id: str, description: str, passed: bool,
-                 evidence: str) -> None:
-        self.finding_id = finding_id
-        self.description = description
-        self.passed = passed
-        self.evidence = evidence
-
-    def __repr__(self) -> str:
-        state = "PASS" if self.passed else "FAIL"
-        return f"[{state}] {self.finding_id}: {self.description}"
-
-
 def _pipe(vendor, country, scenario, phase, seed):
     return cache.grid(seed).pipeline(
         ExperimentSpec(vendor, country, scenario, phase))
+
+
+def _evidence(entries: List[Evidence], default_text: str
+              ) -> tuple:
+    """Per-failure evidence entries, or the all-pass default line.
+
+    The texts join with '; ' in :meth:`Finding.evidence_text`, which
+    reproduces the historical single-string evidence byte for byte.
+    """
+    return tuple(entries) if entries else (Evidence(text=default_text),)
+
+
+def _cell_evidence(text: str, vendor, country, scenario, phase
+                   ) -> Evidence:
+    """Evidence pointing at one grid cell."""
+    return Evidence(
+        text=text,
+        capture=ExperimentSpec(vendor, country, scenario, phase).label,
+        vendor=vendor.value, country=country.value, phase=phase.value)
 
 
 def _paper_filter(**extra) -> Dict[str, Set]:
@@ -112,7 +129,7 @@ def required_specs(vendors: Optional[Iterable[str]] = None
 
 
 def check_s1_linear_and_hdmi_active(seed: int = cache.DEFAULT_SEED
-                                    ) -> FindingCheck:
+                                    ) -> Finding:
     """S1: ACR traffic present in Linear and HDMI for every opted-in
     phase, vendor and country."""
     failures = []
@@ -123,26 +140,31 @@ def check_s1_linear_and_hdmi_active(seed: int = cache.DEFAULT_SEED
                     volume = acr_volume_total(
                         _pipe(vendor, country, scenario, phase, seed))
                     if volume < 50.0:
-                        failures.append(
+                        failures.append(_cell_evidence(
                             f"{vendor.value}/{country.value}/"
                             f"{scenario.value}/{phase.value}: "
-                            f"{volume:.1f}KB")
-    return FindingCheck(
+                            f"{volume:.1f}KB",
+                            vendor, country, scenario, phase))
+    return Finding(
         "S1", "ACR active during Linear and HDMI (incl. dumb-display use)",
-        not failures, "; ".join(failures) or "all cells show ACR traffic")
+        severity="high", confidence=1.0, passed=not failures,
+        evidence=_evidence(failures, "all cells show ACR traffic"))
 
 
-def check_s2_peak_reduction(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
+def check_s2_peak_reduction(seed: int = cache.DEFAULT_SEED) -> Finding:
     """S2: restricted-scenario peaks are several-fold smaller (up to ~12x)."""
     figure = build_figure(Vendor.LG, Country.UK, Phase.LIN_OIN, seed)
     ratio = figure.peak_reduction(Scenario.LINEAR, Scenario.OTT)
     passed = ratio >= 3.0
-    return FindingCheck(
+    return Finding(
         "S2", "Linear/HDMI spikes dwarf restricted-scenario spikes",
-        passed, f"LG UK Linear/OTT peak ratio = {ratio:.1f}x")
+        severity="high", confidence=0.9, passed=passed,
+        evidence=(_cell_evidence(
+            f"LG UK Linear/OTT peak ratio = {ratio:.1f}x",
+            Vendor.LG, Country.UK, Scenario.LINEAR, Phase.LIN_OIN),))
 
 
-def check_s3_cadences(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
+def check_s3_cadences(seed: int = cache.DEFAULT_SEED) -> Finding:
     """S3: LG ships every ~15 s; Samsung every ~60 s."""
     lg = _pipe(Vendor.LG, Country.UK, Scenario.LINEAR, Phase.LIN_OIN, seed)
     lg_domain = lg.acr_candidate_domains()[0]
@@ -156,13 +178,17 @@ def check_s3_cadences(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
     passed = (lg_period is not None and 13 <= lg_period <= 17
               and samsung_period is not None
               and 50 <= samsung_period <= 70)
-    return FindingCheck(
-        "S3", "LG batches every ~15 s, Samsung every ~60 s", passed,
-        f"LG period={lg_period}, Samsung period={samsung_period}")
+    return Finding(
+        "S3", "LG batches every ~15 s, Samsung every ~60 s",
+        severity="medium", confidence=0.9, passed=passed,
+        evidence=(Evidence(
+            text=f"LG period={lg_period}, Samsung period={samsung_period}",
+            country=Country.UK.value, phase=Phase.LIN_OIN.value,
+            flow=fp_domain),))
 
 
 def check_s4_samsung_more_chatter(seed: int = cache.DEFAULT_SEED
-                                  ) -> FindingCheck:
+                                  ) -> Finding:
     """S4: Samsung's log/ingestion endpoints speak more often than LG's
     beacons at the same restricted scenario (higher frequency), while
     LG's single domain dominates raw KB when fingerprinting."""
@@ -173,14 +199,16 @@ def check_s4_samsung_more_chatter(seed: int = cache.DEFAULT_SEED
     samsung_kb = acr_volume_total(samsung)
     samsung_domains = len(samsung.acr_candidate_domains())
     passed = lg_kb > samsung_kb and samsung_domains >= 3
-    return FindingCheck(
+    return Finding(
         "S4", "LG ships more raw KB; Samsung spreads over more endpoints",
-        passed,
-        f"LG={lg_kb:.0f}KB on 1 domain; Samsung={samsung_kb:.0f}KB on "
-        f"{samsung_domains} domains")
+        severity="medium", confidence=1.0, passed=passed,
+        evidence=(Evidence(
+            text=f"LG={lg_kb:.0f}KB on 1 domain; Samsung={samsung_kb:.0f}KB "
+                 f"on {samsung_domains} domains",
+            country=Country.UK.value, phase=Phase.LIN_OIN.value),))
 
 
-def check_s5_optout_silence(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
+def check_s5_optout_silence(seed: int = cache.DEFAULT_SEED) -> Finding:
     """S5: opting out silences every ACR domain; none appear anew."""
     failures = []
     for vendor in paper_vendors():
@@ -193,18 +221,23 @@ def check_s5_optout_silence(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
                 comparison = PhaseComparison(
                     "in", opted_in, "out", opted_out)
                 if not comparison.b_is_silent:
-                    failures.append(f"{vendor.value}/{country.value}/"
-                                    f"{phase.value} still speaks")
+                    failures.append(_cell_evidence(
+                        f"{vendor.value}/{country.value}/"
+                        f"{phase.value} still speaks",
+                        vendor, country, Scenario.LINEAR, phase))
                 if not no_new_acr_domains(opted_in, opted_out):
-                    failures.append(f"{vendor.value}/{country.value}/"
-                                    f"{phase.value} new acr domains")
-    return FindingCheck(
+                    failures.append(_cell_evidence(
+                        f"{vendor.value}/{country.value}/"
+                        f"{phase.value} new acr domains",
+                        vendor, country, Scenario.LINEAR, phase))
+    return Finding(
         "S5", "Opt-out stops all ACR traffic; no new ACR domains",
-        not failures, "; ".join(failures) or "silent in all 8 cells")
+        severity="critical", confidence=1.0, passed=not failures,
+        evidence=_evidence(failures, "silent in all 8 cells"))
 
 
 def check_s6_login_no_effect(seed: int = cache.DEFAULT_SEED
-                             ) -> FindingCheck:
+                             ) -> Finding:
     """S6: LIn-OIn vs LOut-OIn: same ACR domain set, similar volumes."""
     failures = []
     for vendor in paper_vendors():
@@ -215,17 +248,21 @@ def check_s6_login_no_effect(seed: int = cache.DEFAULT_SEED
                       seed)
             comparison = PhaseComparison("LIn-OIn", a, "LOut-OIn", b)
             if not comparison.same_domain_set:
-                failures.append(
-                    f"{vendor.value}/{country.value}: domain sets differ")
+                failures.append(_cell_evidence(
+                    f"{vendor.value}/{country.value}: domain sets differ",
+                    vendor, country, Scenario.LINEAR, Phase.LOUT_OIN))
             elif not comparison.volumes_similar(tolerance=0.5):
-                failures.append(
-                    f"{vendor.value}/{country.value}: volumes diverge")
-    return FindingCheck(
-        "S6", "Login status does not affect ACR traffic", not failures,
-        "; ".join(failures) or "identical domains, similar volumes")
+                failures.append(_cell_evidence(
+                    f"{vendor.value}/{country.value}: volumes diverge",
+                    vendor, country, Scenario.LINEAR, Phase.LOUT_OIN))
+    return Finding(
+        "S6", "Login status does not affect ACR traffic",
+        severity="low", confidence=1.0, passed=not failures,
+        evidence=_evidence(failures,
+                           "identical domains, similar volumes"))
 
 
-def check_s7_uk_domain_sets(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
+def check_s7_uk_domain_sets(seed: int = cache.DEFAULT_SEED) -> Finding:
     """S7: the UK domain sets match §4.1."""
     lg = _pipe(Vendor.LG, Country.UK, Scenario.LINEAR, Phase.LIN_OIN,
                seed)
@@ -239,12 +276,15 @@ def check_s7_uk_domain_sets(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
                         "log-ingestion-eu.samsungacr.com"}
     passed = lg_set == {"eu-acrX.alphonso.tv"} and \
         samsung_set == expected_samsung
-    return FindingCheck(
+    return Finding(
         "S7", "UK: LG uses one rotating Alphonso domain; Samsung uses 4",
-        passed, f"LG={sorted(lg_set)}, Samsung={sorted(samsung_set)}")
+        severity="medium", confidence=1.0, passed=passed,
+        evidence=(Evidence(
+            text=f"LG={sorted(lg_set)}, Samsung={sorted(samsung_set)}",
+            country=Country.UK.value, phase=Phase.LIN_OIN.value),))
 
 
-def check_s8_us_domain_sets(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
+def check_s8_us_domain_sets(seed: int = cache.DEFAULT_SEED) -> Finding:
     """S8: the US sets use tkacrX / drop the cloudsolution domain."""
     lg = _pipe(Vendor.LG, Country.US, Scenario.LINEAR, Phase.LIN_OIN,
                seed)
@@ -261,13 +301,16 @@ def check_s8_us_domain_sets(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
         _pipe(Vendor.SAMSUNG, Country.UK, Scenario.LINEAR, Phase.LIN_OIN,
               seed), samsung)
     passed = passed and comparison.distinct_domain_names
-    return FindingCheck(
+    return Finding(
         "S8", "US: tkacrX for LG; Samsung omits samsungcloudsolution",
-        passed, f"LG={sorted(lg_set)}, Samsung={sorted(samsung_set)}")
+        severity="medium", confidence=1.0, passed=passed,
+        evidence=(Evidence(
+            text=f"LG={sorted(lg_set)}, Samsung={sorted(samsung_set)}",
+            country=Country.US.value, phase=Phase.LIN_OIN.value),))
 
 
 def check_s9_fast_divergence(seed: int = cache.DEFAULT_SEED
-                             ) -> FindingCheck:
+                             ) -> Finding:
     """S9: FAST behaves like Linear in the US but not in the UK."""
     evidence = []
     passed = True
@@ -286,15 +329,18 @@ def check_s9_fast_divergence(seed: int = cache.DEFAULT_SEED
                                            seed))
         uk_ratio = uk_fast / uk_linear
         us_ratio = us_fast / us_linear
-        evidence.append(f"{vendor.value}: UK FAST/Linear={uk_ratio:.2f}, "
-                        f"US={us_ratio:.2f}")
+        evidence.append(Evidence(
+            text=f"{vendor.value}: UK FAST/Linear={uk_ratio:.2f}, "
+                 f"US={us_ratio:.2f}",
+            vendor=vendor.value, phase=Phase.LIN_OIN.value))
         passed = passed and uk_ratio < 0.3 and us_ratio > 0.7
-    return FindingCheck(
-        "S9", "US FAST tracked like Linear; UK FAST restricted", passed,
-        "; ".join(evidence))
+    return Finding(
+        "S9", "US FAST tracked like Linear; UK FAST restricted",
+        severity="high", confidence=0.9, passed=passed,
+        evidence=tuple(evidence))
 
 
-def check_s10_geolocation(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
+def check_s10_geolocation(seed: int = cache.DEFAULT_SEED) -> Finding:
     """S10: endpoint locations and DPF participation match §4.1/§4.3."""
     uk = run_geo_experiment(Country.UK, seed)
     us = run_geo_experiment(Country.US, seed)
@@ -302,24 +348,35 @@ def check_s10_geolocation(seed: int = cache.DEFAULT_SEED) -> FindingCheck:
     for domain in uk.domains:
         city = uk.city_of(domain)
         if domain.endswith("alphonso.tv") and city != "Amsterdam":
-            failures.append(f"{domain} -> {city}")
+            failures.append(Evidence(text=f"{domain} -> {city}",
+                                     country=Country.UK.value,
+                                     flow=domain))
         if domain == "acr-eu-prd.samsungcloud.tv" and city != "London":
-            failures.append(f"{domain} -> {city}")
+            failures.append(Evidence(text=f"{domain} -> {city}",
+                                     country=Country.UK.value,
+                                     flow=domain))
         if domain == "log-config.samsungacr.com" and city != "New York":
-            failures.append(f"{domain} -> {city}")
+            failures.append(Evidence(text=f"{domain} -> {city}",
+                                     country=Country.UK.value,
+                                     flow=domain))
     for domain in us.domains:
         if us.country_of(domain) != "US":
-            failures.append(f"{domain} -> {us.country_of(domain)}")
+            failures.append(Evidence(
+                text=f"{domain} -> {us.country_of(domain)}",
+                country=Country.US.value, flow=domain))
     if not all(uk.dpf_ok.values()):
-        failures.append("a vendor is missing from the DPF list")
-    return FindingCheck(
+        failures.append(Evidence(
+            text="a vendor is missing from the DPF list"))
+    return Finding(
         "S10", "LG UK -> Amsterdam; Samsung UK -> London/Amsterdam/NYC; "
-        "US endpoints in US; vendors on DPF", not failures,
-        "; ".join(failures) or "all endpoint locations as reported")
+        "US endpoints in US; vendors on DPF",
+        severity="medium", confidence=0.75, passed=not failures,
+        evidence=_evidence(failures,
+                           "all endpoint locations as reported"))
 
 
 def check_s11_restricted_modes(seed: int = cache.DEFAULT_SEED
-                               ) -> FindingCheck:
+                               ) -> Finding:
     """S11: UK OTT and Screen Cast carry only light keep-alive traffic."""
     evidence = []
     passed = True
@@ -330,18 +387,21 @@ def check_s11_restricted_modes(seed: int = cache.DEFAULT_SEED
             linear = acr_volume_total(_pipe(vendor, Country.UK,
                                             Scenario.LINEAR,
                                             Phase.LIN_OIN, seed))
-            evidence.append(f"{vendor.value}/{scenario.value}: "
-                            f"{volume:.0f}KB vs linear {linear:.0f}KB")
+            evidence.append(_cell_evidence(
+                f"{vendor.value}/{scenario.value}: "
+                f"{volume:.0f}KB vs linear {linear:.0f}KB",
+                vendor, Country.UK, scenario, Phase.LIN_OIN))
             # Paper Table 2 itself gives Samsung OTT/Linear ~= 25%
             # (190.4 / 750.1 KB) — the floor is the always-on telemetry.
             passed = passed and volume < 0.30 * linear
-    return FindingCheck(
+    return Finding(
         "S11", "OTT/cast carry only keep-alive-level ACR traffic (UK)",
-        passed, "; ".join(evidence))
+        severity="high", confidence=0.9, passed=passed,
+        evidence=tuple(evidence))
 
 
 def check_s12_heuristic_validation(seed: int = cache.DEFAULT_SEED
-                                   ) -> FindingCheck:
+                                   ) -> Finding:
     """S12: the heuristic's three validations all hold."""
     auditor = AcrDomainAuditor()
     opted_in = _pipe(Vendor.SAMSUNG, Country.UK, Scenario.LINEAR,
@@ -354,11 +414,14 @@ def check_s12_heuristic_validation(seed: int = cache.DEFAULT_SEED
     irregular_ads = [report for report in ads.values()
                      if not report.regular]
     passed = bool(findings) and not failures and bool(irregular_ads)
-    return FindingCheck(
+    return Finding(
         "S12", "'acr' domains blocklist-confirmed, regular, vanish on "
-        "opt-out; ads domains irregular", passed,
-        f"{len(findings)} validated; ads contrast: "
-        f"{[r.domain for r in irregular_ads]}")
+        "opt-out; ads domains irregular",
+        severity="medium", confidence=0.85, passed=passed,
+        evidence=(Evidence(
+            text=f"{len(findings)} validated; ads contrast: "
+                 f"{[r.domain for r in irregular_ads]}",
+            country=Country.UK.value),))
 
 
 # -- extension-vendor findings (registry-declared behaviours) -----------------
@@ -371,7 +434,7 @@ def _ext(name: str):
 
 @covers("roku")
 def check_x1_roku_burst_gating(seed: int = cache.DEFAULT_SEED
-                               ) -> FindingCheck:
+                               ) -> Finding:
     """X1: Roku-style uploads are content-gated bursts, not periodic."""
     roku = _ext("roku")
     linear = _pipe(roku, Country.UK, Scenario.LINEAR, Phase.LIN_OIN, seed)
@@ -379,9 +442,12 @@ def check_x1_roku_burst_gating(seed: int = cache.DEFAULT_SEED
     fp = next((d for d in linear.acr_candidate_domains()
                if "ingest" in d), None)
     if fp is None:
-        return FindingCheck(
-            "X1", "Roku-style SDK uploads burst on content change", False,
-            "no ingest domain observed")
+        return Finding(
+            "X1", "Roku-style SDK uploads burst on content change",
+            severity="high", confidence=0.9, passed=False,
+            evidence=(_cell_evidence(
+                "no ingest domain observed", roku, Country.UK,
+                Scenario.LINEAR, Phase.LIN_OIN),))
     cadence = analyze_periodicity(fp, linear.packets_for(fp))
     linear_kb = linear.kilobytes_for(fp)
     hdmi_kb = sum(hdmi.kilobytes_for(d)
@@ -390,10 +456,15 @@ def check_x1_roku_burst_gating(seed: int = cache.DEFAULT_SEED
     # linear TV with its show/ad boundaries, and the channel must not
     # look like a fixed-period upload loop.
     passed = linear_kb > 2 * max(hdmi_kb, 0.1) and not cadence.regular
-    return FindingCheck(
-        "X1", "Roku-style SDK uploads burst on content change", passed,
-        f"linear ingest={linear_kb:.0f}KB, hdmi ingest={hdmi_kb:.0f}KB, "
-        f"linear cadence regular={cadence.regular}")
+    return Finding(
+        "X1", "Roku-style SDK uploads burst on content change",
+        severity="high", confidence=0.9, passed=passed,
+        evidence=(Evidence(
+            text=f"linear ingest={linear_kb:.0f}KB, hdmi "
+                 f"ingest={hdmi_kb:.0f}KB, linear cadence "
+                 f"regular={cadence.regular}",
+            vendor=roku.value, country=Country.UK.value,
+            phase=Phase.LIN_OIN.value, flow=fp),))
 
 
 check_x1_roku_burst_gating.required_cells = [
@@ -404,7 +475,7 @@ check_x1_roku_burst_gating.required_cells = [
 
 @covers("roku")
 def check_x2_roku_optout_downsamples(seed: int = cache.DEFAULT_SEED
-                                     ) -> FindingCheck:
+                                     ) -> Finding:
     """X2: Roku-style opt-out reduces — but never silences — uploads."""
     roku = _ext("roku")
     opted_in = _pipe(roku, Country.UK, Scenario.LINEAR, Phase.LIN_OIN,
@@ -416,10 +487,13 @@ def check_x2_roku_optout_downsamples(seed: int = cache.DEFAULT_SEED
     passed = (out_kb > 0
               and out_kb < 0.5 * in_kb
               and no_new_acr_domains(opted_in, opted_out))
-    return FindingCheck(
-        "X2", "Roku-style opt-out only downsamples ACR traffic", passed,
-        f"opted-in={in_kb:.0f}KB, opted-out={out_kb:.0f}KB "
-        f"({100 * out_kb / in_kb if in_kb else 0:.0f}%)")
+    return Finding(
+        "X2", "Roku-style opt-out only downsamples ACR traffic",
+        severity="critical", confidence=1.0, passed=passed,
+        evidence=(_cell_evidence(
+            f"opted-in={in_kb:.0f}KB, opted-out={out_kb:.0f}KB "
+            f"({100 * out_kb / in_kb if in_kb else 0:.0f}%)",
+            roku, Country.UK, Scenario.LINEAR, Phase.LIN_OOUT),))
 
 
 check_x2_roku_optout_downsamples.required_cells = [
@@ -430,7 +504,7 @@ check_x2_roku_optout_downsamples.required_cells = [
 
 @covers("roku")
 def check_x3_roku_sdk_config_unconditional(
-        seed: int = cache.DEFAULT_SEED) -> FindingCheck:
+        seed: int = cache.DEFAULT_SEED) -> Finding:
     """X3: the third-party SDK config channel survives a full opt-out."""
     roku = _ext("roku")
     opted_out = _pipe(roku, Country.UK, Scenario.LINEAR, Phase.LOUT_OOUT,
@@ -438,9 +512,12 @@ def check_x3_roku_sdk_config_unconditional(
     cfg = [d for d in opted_out.acr_candidate_domains() if "cfg" in d]
     passed = bool(cfg) and all(
         opted_out.kilobytes_for(d) > 0 for d in cfg)
-    return FindingCheck(
-        "X3", "Roku-style SDK config channel ignores the opt-out", passed,
-        f"config domains in LOut-OOut: {cfg or 'none'}")
+    return Finding(
+        "X3", "Roku-style SDK config channel ignores the opt-out",
+        severity="critical", confidence=1.0, passed=passed,
+        evidence=(_cell_evidence(
+            f"config domains in LOut-OOut: {cfg or 'none'}",
+            roku, Country.UK, Scenario.LINEAR, Phase.LOUT_OOUT),))
 
 
 check_x3_roku_sdk_config_unconditional.required_cells = [
@@ -450,21 +527,29 @@ check_x3_roku_sdk_config_unconditional.required_cells = [
 
 @covers("vizio")
 def check_x4_vizio_continuous_cadence(seed: int = cache.DEFAULT_SEED
-                                      ) -> FindingCheck:
+                                      ) -> Finding:
     """X4: Vizio-style fingerprinting is a continuous 10 s drizzle (US)."""
     vizio = _ext("vizio")
     us = _pipe(vizio, Country.US, Scenario.LINEAR, Phase.LIN_OIN, seed)
     domains = us.acr_candidate_domains()
     if not domains:
-        return FindingCheck(
+        return Finding(
             "X4", "Vizio-style continuous 10 s fingerprint cadence (US)",
-            False, "no acr domains observed")
+            severity="high", confidence=0.9, passed=False,
+            evidence=(_cell_evidence(
+                "no acr domains observed", vizio, Country.US,
+                Scenario.LINEAR, Phase.LIN_OIN),))
     report = analyze_periodicity(domains[0], us.packets_for(domains[0]))
     passed = (report.regular and report.period_s is not None
               and 8 <= report.period_s <= 12)
-    return FindingCheck(
+    return Finding(
         "X4", "Vizio-style continuous 10 s fingerprint cadence (US)",
-        passed, f"{domains[0]}: period={report.period_s}, CV={report.cv}")
+        severity="high", confidence=0.9, passed=passed,
+        evidence=(Evidence(
+            text=f"{domains[0]}: period={report.period_s}, "
+                 f"CV={report.cv}",
+            vendor=vizio.value, country=Country.US.value,
+            phase=Phase.LIN_OIN.value, flow=domains[0]),))
 
 
 check_x4_vizio_continuous_cadence.required_cells = [
@@ -474,7 +559,7 @@ check_x4_vizio_continuous_cadence.required_cells = [
 
 @covers("vizio")
 def check_x5_vizio_consent_default(seed: int = cache.DEFAULT_SEED
-                                   ) -> FindingCheck:
+                                   ) -> Finding:
     """X5: the UK consent default keeps even 'opted-in' phases quiet."""
     vizio = _ext("vizio")
     uk = _pipe(vizio, Country.UK, Scenario.LINEAR, Phase.LIN_OIN, seed)
@@ -482,9 +567,12 @@ def check_x5_vizio_consent_default(seed: int = cache.DEFAULT_SEED
     uk_kb = acr_volume_total(uk)
     us_kb = acr_volume_total(us)
     passed = us_kb > 100.0 and uk_kb < 0.25 * us_kb
-    return FindingCheck(
+    return Finding(
         "X5", "Vizio-style country consent default (UK ships opted out)",
-        passed, f"UK LIn-OIn={uk_kb:.0f}KB vs US LIn-OIn={us_kb:.0f}KB")
+        severity="high", confidence=1.0, passed=passed,
+        evidence=(Evidence(
+            text=f"UK LIn-OIn={uk_kb:.0f}KB vs US LIn-OIn={us_kb:.0f}KB",
+            vendor=vizio.value, phase=Phase.LIN_OIN.value),))
 
 
 check_x5_vizio_consent_default.required_cells = [
@@ -495,7 +583,7 @@ check_x5_vizio_consent_default.required_cells = [
 
 @covers("vizio")
 def check_x6_vizio_shared_endpoint(seed: int = cache.DEFAULT_SEED
-                                   ) -> FindingCheck:
+                                   ) -> Finding:
     """X6: the shared second-party endpoint stays warm without ACR.
 
     In the UK the consent default disables fingerprinting, yet the
@@ -507,9 +595,12 @@ def check_x6_vizio_shared_endpoint(seed: int = cache.DEFAULT_SEED
     domains = uk.acr_candidate_domains()
     kb = sum(uk.kilobytes_for(d) for d in domains)
     passed = bool(domains) and kb > 0
-    return FindingCheck(
+    return Finding(
         "X6", "Vizio-style shared ad/ACR endpoint stays warm sans ACR",
-        passed, f"UK LIn-OIn acr-named domains={domains}, {kb:.0f}KB")
+        severity="medium", confidence=1.0, passed=passed,
+        evidence=(_cell_evidence(
+            f"UK LIn-OIn acr-named domains={domains}, {kb:.0f}KB",
+            vizio, Country.UK, Scenario.LINEAR, Phase.LIN_OIN),))
 
 
 check_x6_vizio_shared_endpoint.required_cells = [
@@ -517,7 +608,7 @@ check_x6_vizio_shared_endpoint.required_cells = [
 ]
 
 
-_S_CHECKS: List[Callable[..., FindingCheck]] = [
+_S_CHECKS: List[Callable[..., Finding]] = [
     check_s1_linear_and_hdmi_active,
     check_s2_peak_reduction,
     check_s3_cadences,
@@ -534,7 +625,7 @@ _S_CHECKS: List[Callable[..., FindingCheck]] = [
 for _check in _S_CHECKS:
     paper_finding(_check)
 
-ALL_CHECKS: List[Callable[..., FindingCheck]] = _S_CHECKS + [
+ALL_CHECKS: List[Callable[..., Finding]] = _S_CHECKS + [
     check_x1_roku_burst_gating,
     check_x2_roku_optout_downsamples,
     check_x3_roku_sdk_config_unconditional,
@@ -557,7 +648,7 @@ def _chosen_vendors(vendors: Optional[Iterable[str]]) -> Set[str]:
 
 
 def selected_checks(vendors: Optional[Iterable[str]] = None
-                    ) -> List[Callable[..., FindingCheck]]:
+                    ) -> List[Callable[..., Finding]]:
     """The checks whose full vendor coverage fits the selection.
 
     An empty result is an error, never a silent no-op: "verified
@@ -575,7 +666,7 @@ def selected_checks(vendors: Optional[Iterable[str]] = None
 def run_all_checks(seed: int = cache.DEFAULT_SEED,
                    jobs: Optional[int] = None,
                    vendors: Optional[Iterable[str]] = None
-                   ) -> List[FindingCheck]:
+                   ) -> List[Finding]:
     """The scorecard for the selected vendors (default: every vendor).
 
     ``jobs > 1`` prefetches every required cell on a process pool (and
@@ -589,20 +680,37 @@ def run_all_checks(seed: int = cache.DEFAULT_SEED,
 
 
 def scorecard(seed: int = cache.DEFAULT_SEED,
-              vendors: Optional[Iterable[str]] = None) -> Dict[str, bool]:
-    return {check.finding_id: check.passed
-            for check in run_all_checks(seed, vendors=vendors)}
+              vendors: Optional[Iterable[str]] = None,
+              jobs: Optional[int] = None) -> Dict[str, bool]:
+    """``{finding code: passed}`` for the selected vendors.
+
+    ``jobs`` is forwarded to :func:`run_all_checks` so the dict API can
+    prefetch through the process pool exactly like the CLI scorecard;
+    the verdicts are identical to a serial run.
+    """
+    return {check.code: check.passed
+            for check in run_all_checks(seed, jobs=jobs,
+                                        vendors=vendors)}
 
 
-def render_checks(checks: List[FindingCheck]) -> str:
+def ledger_from_checks(checks: Iterable[Finding]) -> FindingsLedger:
+    """A ledger over one scorecard run (passes and failures both)."""
+    return FindingsLedger(checks)
+
+
+def render_checks(checks: List[Finding]) -> str:
     """The canonical plain-text scorecard.
 
     Shared by the CLI and the golden-corpus pins so "byte-identical
-    scorecard" is one representation, not two print loops.
+    scorecard" is one representation, not two print loops.  The status
+    line is :meth:`Finding.status_line` — the same formatter behind
+    ``repr()`` — so the two can never drift.  An empty selection
+    renders as the empty string, not a phantom blank line.
     """
+    if not checks:
+        return ""
     lines = []
     for check in checks:
-        state = "PASS" if check.passed else "FAIL"
-        lines.append(f"[{state}] {check.finding_id}: {check.description}")
-        lines.append(f"       {check.evidence}")
+        lines.append(check.status_line())
+        lines.append(f"       {check.evidence_text()}")
     return "\n".join(lines) + "\n"

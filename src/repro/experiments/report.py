@@ -142,7 +142,7 @@ def scorecard_section(seed: int, vendors=None) -> List[str]:
         rows.append([check.finding_id,
                      "PASS" if check.passed else "FAIL",
                      check.description,
-                     check.evidence.replace("|", "/")])
+                     check.evidence_text().replace("|", "/")])
     lines.append(render_markdown(
         ["Id", "Result", "Paper finding", "Measured evidence"], rows))
     lines.append("")

@@ -251,10 +251,12 @@ def degradation_evidence(label: str, household_index: int,
     Stable and self-contained — household identity, capture label,
     segment and record coordinates, and the decode failure — so
     degradation records aggregate (and dedupe) as plain Counter keys
-    and render verbatim in the report and metrics export.
+    and render verbatim in the report and metrics export.  Since the
+    findings model became the source of truth this is a thin view over
+    :meth:`repro.findings.Finding.degradation`; the one formatter lives
+    there so the text and the structured evidence can never drift.
     """
-    where = f"segment {segment_seq} " if segment_seq is not None else ""
-    record = "global header" if record_index < 0 \
-        else f"record {record_index}"
-    return (f"household {household_index} [{label}] {where}{record}: "
-            f"{reason}")
+    from ..findings import Finding
+    finding = Finding.degradation(label, household_index, segment_seq,
+                                  record_index, reason)
+    return finding.evidence[0].text

@@ -1,0 +1,147 @@
+"""Differential comparison of two findings exports.
+
+``repro.cli findings diff OLD NEW`` reads two ``--findings-out`` JSONL
+files and reports what changed between the runs:
+
+* **regressions** — findings failing in NEW with no failing
+  counterpart in OLD (a check flipped to FAIL, a new violation
+  appeared);
+* **resolved** — findings that failed in OLD and no longer fail in
+  NEW;
+* **severity changes** — the same failing finding reported at a
+  different severity.
+
+Identity deliberately excludes the evidence *text* (which embeds
+re-measured numbers) and the confidence: two runs that fail the same
+check on the same cells with slightly different measured values are the
+same finding, not a regression plus a resolution.  A diff of a run
+against itself therefore always reports zero changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from .model import severity_rank
+
+#: An identity: (code, frozen evidence loci).
+Identity = Tuple
+
+
+def record_identity(record: Mapping[str, object]) -> Identity:
+    """The diff key of one export record (text/confidence excluded)."""
+    loci = []
+    for entry in record.get("evidence", ()):
+        pointers = tuple(sorted(
+            (key, value) for key, value in entry.items()
+            if key != "text" and value is not None))
+        loci.append(pointers)
+    return (record["code"], tuple(sorted(loci)))
+
+
+def _failing(records) -> Dict[Identity, Mapping[str, object]]:
+    failing: Dict[Identity, Mapping[str, object]] = {}
+    for record in records:
+        if record.get("passed"):
+            continue
+        identity = record_identity(record)
+        current = failing.get(identity)
+        # Duplicated identities (possible when only texts differ) keep
+        # the most severe representative.
+        if current is None or severity_rank(record["severity"]) \
+                > severity_rank(current["severity"]):
+            failing[identity] = record
+    return failing
+
+
+class FindingsDiff:
+    """Outcome of diffing OLD against NEW."""
+
+    __slots__ = ("regressions", "resolved", "severity_changes")
+
+    def __init__(self, regressions, resolved, severity_changes) -> None:
+        #: NEW records failing without an OLD failing counterpart.
+        self.regressions: List[Mapping[str, object]] = regressions
+        #: OLD records that no longer fail in NEW.
+        self.resolved: List[Mapping[str, object]] = resolved
+        #: (old record, new record) pairs with differing severity.
+        self.severity_changes: List[Tuple[Mapping[str, object],
+                                          Mapping[str, object]]] = \
+            severity_changes
+
+    @property
+    def has_changes(self) -> bool:
+        return bool(self.regressions or self.resolved
+                    or self.severity_changes)
+
+    @property
+    def is_regression(self) -> bool:
+        """True when NEW is worse: new failures or escalated severity."""
+        escalated = any(
+            severity_rank(new["severity"]) > severity_rank(
+                old["severity"])
+            for old, new in self.severity_changes)
+        return bool(self.regressions) or escalated
+
+    def render(self, old_path: str, new_path: str) -> str:
+        """Deterministic plain-text report of the three change sets."""
+        if not self.has_changes:
+            return (f"findings diff: no changes between {old_path} "
+                    f"and {new_path}\n")
+        lines = [f"findings diff: {old_path} -> {new_path}"]
+        lines.append(f"  regressions: {len(self.regressions)}")
+        for record in self.regressions:
+            lines.append(f"    + [{record['severity']}] "
+                         f"{record['code']}: {record['title']}"
+                         + _where(record))
+        lines.append(f"  resolved: {len(self.resolved)}")
+        for record in self.resolved:
+            lines.append(f"    - [{record['severity']}] "
+                         f"{record['code']}: {record['title']}"
+                         + _where(record))
+        lines.append(f"  severity changes: "
+                     f"{len(self.severity_changes)}")
+        for old, new in self.severity_changes:
+            lines.append(f"    ~ {new['code']}: {old['severity']} -> "
+                         f"{new['severity']}" + _where(new))
+        return "\n".join(lines) + "\n"
+
+
+def _where(record: Mapping[str, object]) -> str:
+    """A compact locator suffix from the first evidence pointer set."""
+    for entry in record.get("evidence", ()):
+        pointers = [f"{key}={entry[key]}"
+                    for key in ("capture", "household", "vendor",
+                                "country", "phase", "flow", "segment")
+                    if entry.get(key) is not None]
+        if pointers:
+            return f" ({', '.join(pointers)})"
+    return ""
+
+
+def _sorted_records(records) -> List[Mapping[str, object]]:
+    import json
+    return sorted(records,
+                  key=lambda record: (record["code"],
+                                      json.dumps(record,
+                                                 sort_keys=True)))
+
+
+def diff_records(old_records, new_records) -> FindingsDiff:
+    """Compare two exports' finding records (see module docstring)."""
+    old_failing = _failing(old_records)
+    new_failing = _failing(new_records)
+    regressions = _sorted_records(
+        record for identity, record in new_failing.items()
+        if identity not in old_failing)
+    resolved = _sorted_records(
+        record for identity, record in old_failing.items()
+        if identity not in new_failing)
+    severity_changes = []
+    for identity in old_failing.keys() & new_failing.keys():
+        old, new = old_failing[identity], new_failing[identity]
+        if old["severity"] != new["severity"]:
+            severity_changes.append((old, new))
+    severity_changes.sort(
+        key=lambda pair: (pair[1]["code"], pair[1]["severity"]))
+    return FindingsDiff(regressions, resolved, severity_changes)

@@ -1,0 +1,93 @@
+"""Findings JSONL export (schema v1) and its reader.
+
+Mirrors the metrics export exactly: line 1 is a ``meta`` record with
+the schema version plus caller context, then one ``finding`` record per
+distinct finding in the ledger's canonical order, each carrying its
+occurrence ``count``.  The writer is atomic and the byte stream is a
+pure function of the ledger + meta — which is what makes a
+``--findings-out`` export byte-identical across ``--jobs`` counts.
+
+``scripts/check_findings.py`` validates this schema in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .ledger import FindingsLedger
+
+#: Bump on any incompatible change to the JSONL schema.
+FINDINGS_SCHEMA_VERSION = 1
+
+
+def ledger_to_jsonl(ledger: FindingsLedger,
+                    meta: Optional[Mapping[str, object]] = None) -> str:
+    """Render a ledger as stable-schema JSONL (one record per line)."""
+    header: Dict[str, object] = {
+        "record": "meta",
+        "schema": FINDINGS_SCHEMA_VERSION,
+    }
+    for key, value in (meta or {}).items():
+        header[key] = value
+    lines = [json.dumps(header, sort_keys=True)]
+    for record in ledger.to_jsonable():
+        record["record"] = "finding"
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def write_findings_jsonl(path: str, ledger: FindingsLedger,
+                         meta: Optional[Mapping[str, object]] = None
+                         ) -> None:
+    """Atomically write the JSONL export of one ledger."""
+    from ..util import atomic_write_text
+    atomic_write_text(path, ledger_to_jsonl(ledger, meta))
+
+
+def read_findings_jsonl(path: str
+                        ) -> Tuple[Dict[str, object],
+                                   List[Dict[str, object]]]:
+    """Parse an export back into ``(meta, finding records)``.
+
+    Raises ``ValueError`` with a ``line <n>:`` prefix on structural
+    problems; the full schema check lives in
+    ``scripts/check_findings.py`` (this reader only needs enough shape
+    to diff two files).
+    """
+    with open(path, "r", encoding="utf-8") as fileobj:
+        lines = fileobj.read().splitlines()
+    if not lines:
+        raise ValueError("line 1: empty file (expected a meta record)")
+    records: List[Dict[str, object]] = []
+    meta: Dict[str, object] = {}
+    for line_no, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {line_no}: not JSON: {exc}")
+        if not isinstance(record, dict):
+            raise ValueError(f"line {line_no}: record must be a JSON "
+                             f"object")
+        kind = record.get("record")
+        if line_no == 1:
+            if kind != "meta":
+                raise ValueError("line 1: first record must be 'meta'")
+            if record.get("schema") != FINDINGS_SCHEMA_VERSION:
+                raise ValueError(
+                    f"line 1: unsupported schema "
+                    f"{record.get('schema')!r} "
+                    f"(expected {FINDINGS_SCHEMA_VERSION})")
+            meta = record
+            continue
+        if kind != "finding":
+            raise ValueError(f"line {line_no}: unknown record kind "
+                             f"{kind!r}")
+        records.append(record)
+    return meta, records
+
+
+def ledger_from_file(path: str) -> FindingsLedger:
+    """Read an export back into a ledger (round-trip of the writer)."""
+    __, records = read_findings_jsonl(path)
+    return FindingsLedger.from_jsonable(records)

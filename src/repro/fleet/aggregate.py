@@ -22,6 +22,7 @@ from collections import Counter
 from typing import Dict, List, Mapping
 
 from ..analysis.pipeline import AuditPipeline
+from ..findings import DEGRADATION_CODE, Finding, FindingsLedger
 from ..sim.clock import seconds
 
 
@@ -69,6 +70,8 @@ def summarize_household(household, pipeline: AuditPipeline,
                  in zip(burst_starts, burst_starts[1:])]
 
     return {
+        "label": household.label,
+        "index": household.index,
         "vendor": household.vendor.value,
         "country": household.country.value,
         "phase": household.phase.value,
@@ -106,7 +109,7 @@ class FleetAggregate:
         "cadence_sum_ns_by_vendor", "cadence_intervals_by_vendor",
         "optin_households", "optin_acr_households",
         "optout_households", "optout_acr_households",
-        "domain_households", "degradations",
+        "domain_households", "degradations", "findings",
     )
 
     def __init__(self) -> None:
@@ -142,8 +145,14 @@ class FleetAggregate:
         #: evidence string -> occurrences, one per capture record (or
         #: segment) quarantined instead of audited.  Empty on every
         #: clean run, so the report and checkpoints are byte-identical
-        #: with and without the fault layer present.
+        #: with and without the fault layer present.  Derived from the
+        #: ``DEG`` findings in :attr:`findings` (same fold, one source).
         self.degradations: Counter = Counter()
+        #: Every structured finding the fleet produced: degradation
+        #: quarantines folded from summaries plus the opt-out
+        #: violations this aggregate emits itself.  Merges with the
+        #: same associative/commutative algebra as the Counters.
+        self.findings = FindingsLedger()
 
     # -- accumulation -----------------------------------------------------------
 
@@ -193,8 +202,18 @@ class FleetAggregate:
 
         for domain in summary["acr_domains"]:
             self.domain_households[domain] += 1
-        for evidence in summary.get("degradations", ()):
-            self.degradations[evidence] += 1
+        for finding in summary.get("findings", ()):
+            self.findings.fold(finding)
+            if finding.code == DEGRADATION_CODE and finding.evidence:
+                self.degradations[finding.evidence[0].text] += 1
+        if not summary["opted_in"] and has_acr:
+            # Emitted here — the single fold point shared by the batch
+            # fleet and the streaming service — so the two paths cannot
+            # diverge on what counts as a violation.
+            self.findings.fold(Finding.optout_violation(
+                summary.get("label"), summary.get("index"),
+                vendor, country, summary["phase"],
+                summary["acr_bytes"], summary["acr_domains"]))
         return self
 
     def merge(self, other: "FleetAggregate") -> "FleetAggregate":
@@ -214,6 +233,8 @@ class FleetAggregate:
                     for key, count in value.items():
                         _add_nonzero(target, key, count)
                 else:
+                    # Integers add; the findings ledger's __add__ is
+                    # its own (equally associative) merge.
                     setattr(merged, slot, getattr(merged, slot) + value)
         return merged
 
@@ -229,6 +250,8 @@ class FleetAggregate:
             if isinstance(value, Counter):
                 state[slot] = {key: count for key, count
                                in sorted(value.items()) if count}
+            elif isinstance(value, FindingsLedger):
+                state[slot] = value.to_jsonable()
             else:
                 state[slot] = value
         return state
@@ -247,6 +270,9 @@ class FleetAggregate:
                 counter = getattr(aggregate, slot)
                 for key, count in value.items():
                     _add_nonzero(counter, key, int(count))
+            elif isinstance(getattr(aggregate, slot), FindingsLedger):
+                setattr(aggregate, slot,
+                        FindingsLedger.from_jsonable(value))
             else:
                 setattr(aggregate, slot, int(value))
         return aggregate

@@ -29,9 +29,9 @@ import time
 from typing import Callable, List, Optional, Tuple
 
 from ..analysis.pipeline import AuditPipeline, ColumnarAuditPipeline
-from ..faults import (NULL_PLAN, FaultPlan, degradation_evidence,
-                      produce_with_retries, salvage_pcap_bytes,
-                      tamper_pcap_bytes)
+from ..faults import (NULL_PLAN, FaultPlan, produce_with_retries,
+                      salvage_pcap_bytes, tamper_pcap_bytes)
+from ..findings import Finding
 from ..experiments.grid import (CacheReadError, ResultCache,
                                 record_from_result, warm_assets)
 from ..net.addresses import Ipv4Address
@@ -145,7 +145,7 @@ def _audit_household(household: HouseholdSpec,
     if faults:
         pcap_bytes, __ = tamper_pcap_bytes(faults, pcap_bytes,
                                            household.index)
-    degradations: List[str] = []
+    quarantined: List[Finding] = []
     tv_ip = Ipv4Address.parse(record.tv_ip)
     with registry.span("fleet.decode"):
         try:
@@ -153,13 +153,13 @@ def _audit_household(household: HouseholdSpec,
                 pcap_bytes, tv_ip, tier=tier)
         except (PcapError, ValueError) as exc:
             # Quarantine-and-continue: salvage what still decodes and
-            # surface every dropped record as counted evidence instead
+            # surface every dropped record as a counted finding instead
             # of aborting the shard.
             clean, drops = salvage_pcap_bytes(pcap_bytes)
             registry.inc("faults.degraded.captures")
             registry.inc("faults.degraded.records", len(drops))
             for record_index, reason in drops:
-                degradations.append(degradation_evidence(
+                quarantined.append(Finding.degradation(
                     household.label, household.index, None,
                     record_index, reason))
             pipeline = AuditPipeline.from_pcap_bytes(
@@ -168,7 +168,7 @@ def _audit_household(household: HouseholdSpec,
             packet_count = len(pipeline.packets)
             pcap_len = max(len(clean), GLOBAL_HEADER.size)
     touched = None
-    if (arena is not None and not degradations
+    if (arena is not None and not quarantined
             and isinstance(pipeline, ColumnarAuditPipeline)):
         touched = arena.publish(
             key, pipeline.packets,
@@ -177,8 +177,8 @@ def _audit_household(household: HouseholdSpec,
              "pcap_len": record.pcap_len})
     summary = summarize_household(household, pipeline,
                                   packet_count, pcap_len)
-    if degradations:
-        summary["degradations"] = degradations
+    if quarantined:
+        summary["findings"] = quarantined
     registry.inc("fleet.households")
     # Drop the heavy objects before the next household: the aggregate
     # keeps only the summary's integers.

@@ -19,7 +19,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..analysis.pipeline import AuditPipeline
-from ..faults import degradation_evidence, salvage_pcap_bytes
+from ..faults import salvage_pcap_bytes
+from ..findings import Finding
 from ..fleet.aggregate import summarize_household
 from ..fleet.population import HouseholdSpec
 from ..net.addresses import Ipv4Address
@@ -33,7 +34,7 @@ class HouseholdIngest:
     """Streaming audit state for one in-flight household."""
 
     __slots__ = ("household", "pipeline", "packet_count", "pcap_len",
-                 "segments_ingested", "degradations")
+                 "segments_ingested", "findings")
 
     def __init__(self, household: HouseholdSpec, tv_ip: str) -> None:
         self.household = household
@@ -43,16 +44,16 @@ class HouseholdIngest:
         #: batch capture carries once, then adds each segment's records.
         self.pcap_len = PCAP_HEADER_LEN
         self.segments_ingested = 0
-        #: Evidence strings, one per quarantined record — empty on any
-        #: clean capture.
-        self.degradations: List[str] = []
+        #: Degradation findings, one per quarantined record — empty on
+        #: any clean capture.
+        self.findings: List[Finding] = []
 
     def ingest(self, segment: CaptureSegment) -> None:
         """Extend the pipeline with one (in-order) segment.
 
         A segment the decode tier rejects is quarantined, not fatal:
         the decodable records are salvaged and applied, each dropped
-        record becomes a degradation evidence string, and byte/packet
+        record becomes a degradation finding, and byte/packet
         accounting covers only what was actually audited.
         """
         before = len(self.pipeline.packets)
@@ -80,11 +81,10 @@ class HouseholdIngest:
         registry.inc("faults.degraded.segments")
         household = self.household
         if len(self.pipeline.packets) != before:
-            evidence = degradation_evidence(
+            self.findings.append(Finding.degradation(
                 household.label, household.index, segment.seq, 0,
                 f"partial segment decode: "
-                f"{type(exc).__name__}: {exc}")
-            self.degradations.append(evidence)
+                f"{type(exc).__name__}: {exc}"))
             registry.inc("faults.degraded.records")
             return (len(self.pipeline.packets) - before,
                     segment.record_bytes)
@@ -92,7 +92,7 @@ class HouseholdIngest:
         applied = self.pipeline.extend_pcap_bytes(clean) \
             if len(clean) > PCAP_HEADER_LEN else 0
         for record_index, reason in drops:
-            self.degradations.append(degradation_evidence(
+            self.findings.append(Finding.degradation(
                 household.label, household.index, segment.seq,
                 record_index, reason))
         registry.inc("faults.degraded.records", len(drops))
@@ -105,15 +105,14 @@ class HouseholdIngest:
     def summarize(self) -> Dict[str, object]:
         """The finished household summary (batch-identical).
 
-        ``degradations`` appears only when records were quarantined,
-        so a clean household's summary — and everything folded from it
-        — is byte-identical to one produced before the fault layer
-        existed.
+        ``findings`` appears only when records were quarantined, so a
+        clean household's summary — and everything folded from it — is
+        identical to one produced before the fault layer existed.
         """
         summary = summarize_household(self.household, self.pipeline,
                                       self.packet_count, self.pcap_len)
-        if self.degradations:
-            summary["degradations"] = list(self.degradations)
+        if self.findings:
+            summary["findings"] = list(self.findings)
         return summary
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from ..findings import Finding, FindingsLedger, OPTOUT_VIOLATION_CODE
 from ..fleet.aggregate import FleetAggregate
 
 
@@ -77,6 +78,18 @@ class LiveState:
             "violating_households": agg.optout_acr_households,
             "violation_rate": agg.optout_leak_fraction(),
         }
+
+    @property
+    def findings(self) -> FindingsLedger:
+        """Every structured finding folded so far (live view)."""
+        return self.aggregate.findings
+
+    def violation_findings(self) -> List[Finding]:
+        """The per-household opt-out violation findings, canonical
+        order — the structured records behind the
+        :meth:`optout_violations` rates."""
+        return [finding for finding, __ in self.aggregate.findings
+                if finding.code == OPTOUT_VIOLATION_CODE]
 
     def top_domains(self, count: int = 10) -> List[Tuple[str, int]]:
         """Most-contacted ACR domains (by distinct households)."""

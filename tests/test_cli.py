@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+import repro.experiments
 from repro.cli import build_parser, main
+from repro.findings import (Evidence, Finding, FindingsLedger,
+                            write_findings_jsonl)
 
 
 class TestParser:
@@ -53,6 +58,93 @@ class TestParser:
             ["scorecard", "--jobs", "4"]).jobs == 4
         assert build_parser().parse_args(
             ["report", "--seed", "9"]).seed == 9
+
+
+def _fabricated_checks(s2_passes):
+    """A tiny scorecard stand-in so the exit-code matrix needs no grid."""
+    return [
+        Finding(code="S1", title="fabricated pass", severity="high",
+                passed=True, evidence=(Evidence(text="ok"),)),
+        Finding(code="S2", title="fabricated verdict", severity="medium",
+                passed=s2_passes, evidence=(Evidence(text="measured"),)),
+    ]
+
+
+class TestScorecardExitCodes:
+    """The documented matrix: 0 all-pass, 1 any-fail, 2 bad --vendors.
+
+    (Exit 2 is covered by ``test_scorecard_vendors_selection_errors``
+    above; these two pin the verdict-driven codes without running the
+    simulation grid.)
+    """
+
+    def test_all_checks_passing_exits_0(self, monkeypatch, capsys):
+        monkeypatch.setattr(repro.experiments, "run_all_checks",
+                            lambda **kwargs: _fabricated_checks(True))
+        assert main(["scorecard"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] S1: fabricated pass" in out
+        assert "[FAIL]" not in out
+
+    def test_any_failed_finding_exits_1(self, monkeypatch, capsys):
+        monkeypatch.setattr(repro.experiments, "run_all_checks",
+                            lambda **kwargs: _fabricated_checks(False))
+        assert main(["scorecard"]) == 1
+        assert "[FAIL] S2: fabricated verdict" in \
+            capsys.readouterr().out
+
+    def test_findings_out_exports_the_ledger(self, monkeypatch,
+                                             tmp_path, capsys):
+        monkeypatch.setattr(repro.experiments, "run_all_checks",
+                            lambda **kwargs: _fabricated_checks(False))
+        path = str(tmp_path / "findings.jsonl")
+        assert main(["scorecard", "--findings-out", path]) == 1
+        capsys.readouterr()
+        lines = [json.loads(line)
+                 for line in open(path, encoding="utf-8")]
+        assert lines[0]["record"] == "meta" and lines[0]["schema"] == 1
+        assert lines[0]["vendors"] == "all" and "jobs" not in lines[0]
+        assert [record["code"] for record in lines[1:]] == ["S1", "S2"]
+        # A self-diff of the export reports zero changes and exits 0.
+        assert main(["findings", "diff", path, path]) == 0
+        assert "no changes" in capsys.readouterr().out
+
+
+class TestFindingsDiffCommand:
+    def _export(self, path, findings):
+        write_findings_jsonl(str(path), FindingsLedger(findings))
+        return str(path)
+
+    def test_regression_exits_1(self, tmp_path, capsys):
+        old = self._export(tmp_path / "old.jsonl",
+                           _fabricated_checks(True))
+        new = self._export(tmp_path / "new.jsonl",
+                           _fabricated_checks(False))
+        assert main(["findings", "diff", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "regressions: 1" in out and "S2" in out
+        # The reverse direction only resolves — exit 0.
+        assert main(["findings", "diff", new, old]) == 0
+        assert "resolved: 1" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_2(self, tmp_path, capsys):
+        path = self._export(tmp_path / "ok.jsonl",
+                            _fabricated_checks(True))
+        missing = str(tmp_path / "missing.jsonl")
+        assert main(["findings", "diff", missing, path]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_file_exits_2(self, tmp_path, capsys):
+        good = self._export(tmp_path / "ok.jsonl",
+                            _fabricated_checks(True))
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        assert main(["findings", "diff", good, str(bad)]) == 2
+        assert "invalid findings file" in capsys.readouterr().err
+
+    def test_diff_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["findings"])
 
 
 class TestRunCommand:

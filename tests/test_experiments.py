@@ -142,4 +142,4 @@ class TestGeoExperiment:
 def test_finding_check(check):
     """Every paper finding (S1-S12) holds on the simulated testbed."""
     result = check()
-    assert result.passed, f"{result.finding_id}: {result.evidence}"
+    assert result.passed, f"{result.finding_id}: {result.evidence_text()}"

@@ -16,6 +16,8 @@ import pytest
 
 from repro.cli import main
 from repro.experiments.grid import ResultCache
+from repro.findings import (DEGRADATION_CODE, OPTOUT_VIOLATION_CODE,
+                            Finding, FindingsLedger)
 from repro.fleet import (DIARIES, FleetAggregate, FleetRunner,
                          HouseholdSpec, MixError, PopulationSpec,
                          diary_named, merge_all, parse_mix,
@@ -308,6 +310,64 @@ class TestAggregate:
         assert aggregate.acr_fraction() == 0.75
         assert aggregate.optout_leak_fraction() == 0.0
         assert aggregate.mean_cadence_s("lg") == pytest.approx(15.0)
+
+    def test_optout_leak_emits_a_critical_finding(self):
+        leak = summary(phase="LIn-OOut", opted_in=False, acr_bytes=900,
+                       upload=600, acr_packets=4, bursts=1,
+                       cadence_sum=0, intervals=0)
+        aggregate = folded([leak])
+        violations = aggregate.findings.failed()
+        assert len(violations) == 1
+        finding = violations[0]
+        assert finding.code == OPTOUT_VIOLATION_CODE
+        assert finding.severity == "critical"
+        entry = finding.evidence[0]
+        assert entry.vendor == "lg" and entry.country == "uk"
+        assert entry.phase == "LIn-OOut"
+        assert entry.flow == "eu-acr4.alphonso.tv"
+        assert "900 ACR bytes" in entry.text
+        # Opted-out households that stay silent (and clean opted-in
+        # runs) emit nothing — the baseline ledger is empty.
+        assert not folded(SUMMARIES).findings
+
+    def test_degradation_findings_feed_the_legacy_counter(self):
+        finding = Finding.degradation("hh-0003", 3, None, 7, "bad magic")
+        degraded = summary()
+        degraded["findings"] = [finding, finding]
+        aggregate = folded([degraded])
+        assert aggregate.findings.total() == 2
+        assert aggregate.findings.findings()[0].code == DEGRADATION_CODE
+        # The report's ## Degradations table is derived from the same
+        # fold, keyed by the finding's canonical evidence text.
+        assert aggregate.degradations == {finding.evidence[0].text: 2}
+
+    def test_merge_combines_findings_ledgers(self):
+        degraded = summary()
+        degraded["findings"] = [
+            Finding.degradation("hh-0001", 1, None, 2, "torn header")]
+        leak = summary(opted_in=False)
+        a, b = folded([degraded]), folded([leak])
+        merged = a.merge(b)
+        assert merged.findings == a.findings + b.findings
+        assert merged.findings.total() == 2
+        assert a.merge(b).findings == b.merge(a).findings
+
+    def test_checkpoint_roundtrip_preserves_findings(self):
+        degraded = summary(opted_in=False)
+        degraded["findings"] = [
+            Finding.degradation("hh-0002", 2, 1, -1, "bad global magic")]
+        aggregate = folded([degraded, summary()])
+        restored = FleetAggregate.from_dict(aggregate.to_dict())
+        assert restored == aggregate
+        assert restored.findings == aggregate.findings
+        assert restored.degradations == aggregate.degradations
+
+    def test_old_checkpoint_without_findings_resumes_empty(self):
+        state = folded(SUMMARIES).to_dict()
+        del state["findings"]
+        restored = FleetAggregate.from_dict(state)
+        assert restored.findings == FindingsLedger()
+        assert restored.households == 4
 
 
 @pytest.mark.slow

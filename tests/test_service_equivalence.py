@@ -135,6 +135,40 @@ class TestStreamingEqualsBatch:
             result.state.aggregate, population)) == batch_sha
 
 
+class TestLiveStateFindings:
+    """The structured-findings surface over the live aggregate."""
+
+    def _summary(self, index, opted_in, acr):
+        return {
+            "label": f"hh-{index:04d}", "index": index,
+            "vendor": "roku", "country": "us",
+            "phase": "LIn-OIn" if opted_in else "LIn-OOut",
+            "diary": "binge", "opted_in": opted_in, "packets": 50,
+            "pcap_len": 4000,
+            "acr_domains": ["acr.roku.example"] if acr else [],
+            "acr_bytes": 2048 if acr else 0,
+            "acr_upload_bytes": 1024 if acr else 0,
+            "acr_packets": 8 if acr else 0, "acr_bursts": 2 if acr else 0,
+            "cadence_sum_ns": 0, "cadence_intervals": 0,
+        }
+
+    def test_optout_violations_surface_structured_findings(self):
+        state = LiveState()
+        state.fold(0, self._summary(0, opted_in=True, acr=True))
+        state.fold(1, self._summary(1, opted_in=False, acr=True))
+        state.fold(2, self._summary(2, opted_in=False, acr=False))
+        assert state.optout_violations() == {
+            "optout_households": 2, "violating_households": 1,
+            "violation_rate": 0.5}
+        violations = state.violation_findings()
+        assert len(violations) == 1
+        entry = violations[0].evidence[0]
+        assert entry.household == 1 and entry.capture == "hh-0001"
+        assert entry.flow == "acr.roku.example"
+        # The ledger view and the per-code filter agree.
+        assert state.findings.failed() == violations
+
+
 @pytest.mark.slow
 class TestKillResumeEqualsBatch:
     @given(stop_after=st.integers(min_value=1, max_value=60),

@@ -1,11 +1,14 @@
 """Differential vendor-conformance suite.
 
-For every registered vendor x country x phase, run one Linear capture and
-assert the *registry-declared* contract — expected ACR endpoint set,
-cadence (or burstiness), consent default, opt-out effect — against what
-the analysis pipeline actually measures (the same machinery that
-regenerates Tables 1-5).  A vendor plugin whose declared contract drifts
-from its simulated behaviour fails here, not in production.
+For every registered vendor x country x phase, run one Linear capture
+and evaluate the *registry-declared* contract — expected ACR endpoint
+set, cadence (or burstiness), consent default, opt-out effect — against
+what the analysis pipeline actually measures (the same machinery that
+regenerates Tables 1-5).  The contract clauses live in
+``repro.findings.conformance`` and come back as structured ``Finding``
+objects; this suite asserts every one of them passes, so a vendor
+plugin whose declared contract drifts from its simulated behaviour
+fails here, not in production.
 
 Also enforces the registry's core invariant by grepping the source tree:
 no module outside ``repro/tv/vendors`` may compare against a vendor name
@@ -17,9 +20,11 @@ import re
 
 import pytest
 
-from repro.analysis.periodicity import analyze_periodicity
-from repro.analysis.volumes import normalize_rotating
 from repro.experiments import cache as experiment_cache
+from repro.findings import FindingsLedger
+from repro.findings.conformance import (cell_findings,
+                                        conformance_reference_kb,
+                                        optout_findings)
 from repro.sim.clock import minutes
 from repro.testbed.experiment import (Country, ExperimentSpec, Phase,
                                       Scenario, Vendor, paper_vendors,
@@ -44,11 +49,6 @@ def _pipeline(vendor: Vendor, country: Country, phase: Phase):
     return experiment_cache.grid(SEED).pipeline(spec)
 
 
-def _acr_kb(pipeline) -> float:
-    return sum(pipeline.kilobytes_for(domain)
-               for domain in pipeline.acr_candidate_domains())
-
-
 def _full_reference_kb(vendor: Vendor) -> float:
     """The vendor's richest opted-in Linear volume across countries.
 
@@ -56,8 +56,17 @@ def _full_reference_kb(vendor: Vendor) -> float:
     because a consent default can leave one country with no FULL cell at
     any phase (the Vizio-style UK default).
     """
-    return max(_acr_kb(_pipeline(vendor, country, Phase.LIN_OIN))
-               for country in Country)
+    return conformance_reference_kb(
+        vendor_profile_of(vendor),
+        {country: _pipeline(vendor, country, Phase.LIN_OIN)
+         for country in Country})
+
+
+def _assert_all_passed(findings) -> None:
+    failed = [finding for finding in findings if not finding.passed]
+    assert not failed, "\n".join(
+        f"{finding.status_line()} -- {finding.evidence_text()}"
+        for finding in failed)
 
 
 # -- registry sanity -----------------------------------------------------------
@@ -183,7 +192,12 @@ class TestNoVendorDispatchOutsideRegistry:
 
 @pytest.mark.slow
 class TestConformanceMatrix:
-    """Registry-declared contract vs measured capture, cell by cell."""
+    """Registry-declared contract vs measured capture, cell by cell.
+
+    The contract clauses are evaluated by
+    ``repro.findings.conformance`` into structured findings; each cell
+    must come back non-empty with every finding passed.
+    """
 
     @pytest.mark.parametrize(
         "vendor,country,phase",
@@ -191,75 +205,42 @@ class TestConformanceMatrix:
         ids=[f"{v.value}-{c.value}-{p.value}" for v, c, p in ALL_CELLS])
     def test_cell_matches_declared_activity(self, vendor, country, phase):
         profile = vendor_profile_of(vendor)
-        contract = profile.contract
-        activity = profile.expected_activity(country.value, phase)
-        pipeline = _pipeline(vendor, country, phase)
-        measured = pipeline.acr_candidate_domains()
-        normalized = {normalize_rotating(domain) for domain in measured}
-        declared = set(contract.acr_domains[country.value])
-        kb = _acr_kb(pipeline)
-
-        if activity == vendors.ACTIVITY_SILENT:
-            assert not measured, (
-                f"{vendor.value}/{country.value}/{phase.value} declared "
-                f"silent but contacted {measured}")
-            return
-
-        assert measured, (f"{vendor.value}/{country.value}/{phase.value} "
-                          f"declared {activity} but contacted nothing")
-        assert normalized <= declared, (
-            f"undeclared ACR endpoints: {normalized - declared}")
-
-        if activity == vendors.ACTIVITY_FULL:
-            assert normalized == declared, (
-                f"missing declared endpoints: {declared - normalized}")
-            self._assert_cadence(profile, country, pipeline)
-        elif activity == vendors.ACTIVITY_DOWNSAMPLED:
-            reference = _full_reference_kb(vendor)
-            assert 0 < kb < 0.75 * reference, (
-                f"opt-out should downsample, got {kb:.1f}KB vs full "
-                f"{reference:.1f}KB")
-        elif activity == vendors.ACTIVITY_ADS_ONLY:
-            reference = _full_reference_kb(vendor)
-            assert 0 < kb < 0.3 * reference, (
-                f"shared endpoint should carry only ad-stack residue, "
-                f"got {kb:.1f}KB vs full {reference:.1f}KB")
-
-    def _assert_cadence(self, profile, country, pipeline) -> None:
-        fingerprint = profile.fingerprint_domain(country.value, 0, SEED)
-        report = analyze_periodicity(
-            fingerprint, pipeline.packets_for(fingerprint))
-        if profile.contract.bursty:
-            assert not report.regular, (
-                f"{profile.name} declared bursty uploads but "
-                f"{fingerprint} ticks regularly ({report!r})")
-            return
-        declared = profile.contract.cadence_s
-        tolerance = profile.contract.cadence_tolerance_s
-        assert report.period_s is not None, (
-            f"no cadence measurable on {fingerprint} ({report!r})")
-        assert abs(report.period_s - declared) <= tolerance, (
-            f"{profile.name}/{country.value}: declared {declared}s "
-            f"+/- {tolerance}s, measured {report.period_s:.1f}s")
+        findings = cell_findings(
+            profile, country.value, phase,
+            _pipeline(vendor, country, phase),
+            reference_kb=_full_reference_kb(vendor), seed=SEED)
+        assert findings, (f"{vendor.value}/{country.value}/"
+                          f"{phase.value} produced no contract findings")
+        assert all(finding.code.startswith("CONF-")
+                   for finding in findings)
+        # Every cell carries at least the activity-class verdict, with
+        # the measured endpoint set pinned in its evidence pointers.
+        assert findings[0].code == "CONF-ACTIVITY"
+        assert findings[0].evidence[0].vendor == vendor.value
+        assert findings[0].evidence[0].country == country.value
+        assert findings[0].evidence[0].phase == phase.value
+        _assert_all_passed(findings)
 
     def test_optout_differential_is_contractual(self):
         """Opt-out semantics: silence vendors vanish, downsample vendors
-        shrink, shared-endpoint vendors leave ad residue."""
+        shrink, shared-endpoint vendors leave ad residue — and the whole
+        differential folds into one clean ledger."""
+        ledger = FindingsLedger()
         for vendor in Vendor:
             profile = vendor_profile_of(vendor)
             for country in Country:
-                opted_in = _pipeline(vendor, country, Phase.LIN_OIN)
-                opted_out = _pipeline(vendor, country, Phase.LOUT_OOUT)
-                out_domains = opted_out.acr_candidate_domains()
-                # Never a *new* endpoint after opting out.
-                assert set(out_domains) <= \
-                    set(opted_in.acr_candidate_domains())
-                if profile.contract.optout == vendors.OPTOUT_DOWNSAMPLE:
-                    assert out_domains
-                elif profile.contract.shared_ad_endpoint:
-                    assert out_domains  # ad-stack residue remains
-                else:
-                    assert not out_domains
+                findings = optout_findings(
+                    profile, country.value,
+                    _pipeline(vendor, country, Phase.LIN_OIN),
+                    _pipeline(vendor, country, Phase.LOUT_OOUT))
+                assert len(findings) == 2
+                assert all(finding.code == "CONF-OPTOUT"
+                           for finding in findings)
+                _assert_all_passed(findings)
+                ledger.extend(findings)
+        assert not ledger.failed()
+        # 4 vendors x 2 countries x 2 clauses, all distinct records.
+        assert ledger.total() == 16
 
 
 @pytest.mark.slow
